@@ -1,0 +1,42 @@
+"""Benchmarks regenerating the trace-domain experiments (E8-E12).
+
+These cover the paper's main construction: the domain of traces, Lemma A.2,
+the quantifier elimination of Theorem A.3 (decidability, Corollary A.4), and
+the two negative results (Theorem 3.1: no effective syntax; Theorem 3.3:
+relative safety undecidable).
+"""
+
+from repro.experiments import (
+    exp08_trace_domain,
+    exp09_lemma_a2,
+    exp10_trace_qe,
+    exp11_no_effective_syntax,
+    exp12_relative_safety_traces,
+)
+
+from conftest import run_experiment_benchmark
+
+
+def test_exp8_trace_domain(benchmark):
+    """E8 — Section 3: sorts, traces, the predicate P, trace counts."""
+    run_experiment_benchmark(benchmark, exp08_trace_domain.run)
+
+
+def test_exp9_lemma_a2(benchmark):
+    """E9 — Lemma A.2: criterion vs explicit witness machines."""
+    run_experiment_benchmark(benchmark, exp09_lemma_a2.run)
+
+
+def test_exp10_trace_quantifier_elimination(benchmark):
+    """E10 — Theorem A.3 / Corollary A.4: QE and decidability of the theory of traces."""
+    run_experiment_benchmark(benchmark, exp10_trace_qe.run)
+
+
+def test_exp11_no_effective_syntax(benchmark):
+    """E11 — Theorem 3.1 / Corollary 3.2: no effective syntax over T."""
+    run_experiment_benchmark(benchmark, exp11_no_effective_syntax.run)
+
+
+def test_exp12_relative_safety_traces(benchmark):
+    """E12 — Theorem 3.3: relative safety over T is the halting problem."""
+    run_experiment_benchmark(benchmark, exp12_relative_safety_traces.run)

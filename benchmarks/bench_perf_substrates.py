@@ -1,0 +1,104 @@
+"""Performance benchmarks for the substrates (not in the paper; support E2/E4/E7/E10).
+
+These characterise how the decision procedures and simulators scale:
+
+* Cooper quantifier elimination vs quantifier depth;
+* successor-domain quantifier elimination vs formula size;
+* Reach-theory sentence decision;
+* trace generation vs number of snapshots;
+* query answering by enumeration vs database size;
+* relational algebra joins vs relation size.
+"""
+
+import pytest
+
+from repro.domains.presburger import PresburgerDomain
+from repro.domains.reach_traces import ReachTracesDomain
+from repro.domains.successor import SuccessorDomain, eliminate_successor_quantifiers
+from repro.engine.enumeration import answer_by_enumeration
+from repro.experiments.corpora import numeric_schema, numeric_state
+from repro.logic.builders import atom, conj, exists, forall, var
+from repro.logic.parser import parse_formula
+from repro.relational.algebra import BaseRelation, NaturalJoin, Rename, evaluate_algebra
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.state import DatabaseState
+from repro.turing.builders import loop_forever, unary_eraser
+from repro.turing.encoding import encode_machine
+from repro.turing.traces import trace_of
+
+
+@pytest.mark.parametrize("depth", [1, 2, 3])
+def test_perf_cooper_elimination_vs_depth(benchmark, depth):
+    """Cooper's decision procedure on alternating-quantifier Presburger sentences."""
+    domain = PresburgerDomain()
+    body = "x0 < x1 + 3"
+    text = body
+    for level in range(depth):
+        quantifier = "forall" if level % 2 else "exists"
+        text = f"{quantifier} x{level}. ({text})"
+    text = f"forall x{depth}. exists x0. ({text.replace('x1', f'x{depth}')})"
+    sentence = parse_formula(text)
+    result = benchmark(domain.decide, sentence)
+    assert result in (True, False)
+
+
+@pytest.mark.parametrize("width", [2, 4, 8])
+def test_perf_successor_elimination_vs_width(benchmark, width):
+    """Successor-domain QE on conjunctions of growing width."""
+    literals = [parse_formula(f"succ(x) = y{i}") for i in range(width)]
+    formula = exists("x", conj(*literals))
+    eliminated = benchmark(eliminate_successor_quantifiers, formula)
+    assert eliminated is not None
+
+
+@pytest.mark.parametrize("count", [1, 2])
+def test_perf_reach_theory_decision(benchmark, count):
+    """Deciding Reach-theory sentences with nested quantifiers."""
+    domain = ReachTracesDomain()
+    eraser = encode_machine(unary_eraser())
+    text = f"forall z. (W(z) -> exists x. P('{eraser}', z, x))"
+    expected = True
+    if count == 2:
+        # the eraser halts immediately on words starting with a blank, so it
+        # does NOT have two distinct traces on every input word
+        text = (
+            f"forall z. (W(z) -> exists x. exists y. "
+            f"(P('{eraser}', z, x) & P('{eraser}', z, y) & x != y))"
+        )
+        expected = False
+    sentence = parse_formula(text)
+    assert benchmark(domain.decide, sentence) is expected
+
+
+@pytest.mark.parametrize("snapshots", [10, 100, 500])
+def test_perf_trace_generation(benchmark, snapshots):
+    """Generating long traces of a diverging machine."""
+    looper = encode_machine(loop_forever())
+    trace = benchmark(trace_of, looper, "111", snapshots)
+    assert trace is not None
+
+
+@pytest.mark.parametrize("size", [4, 8])
+def test_perf_enumeration_answering_vs_state_size(benchmark, size):
+    """The Section 1.1 algorithm on growing states of (N, <)."""
+    domain = PresburgerDomain()
+    state = numeric_state([2 * i + 1 for i in range(size)])
+    query = exists("y", conj(atom("S", var("y")), atom("<", var("x"), var("y"))))
+    answer = benchmark.pedantic(
+        answer_by_enumeration, args=(query, state, domain),
+        kwargs={"max_rows": 100, "max_candidates": 300}, iterations=1, rounds=3,
+    )
+    assert len(answer.relation) == 2 * size - 1
+
+
+@pytest.mark.parametrize("rows", [100, 400])
+def test_perf_natural_join(benchmark, rows):
+    """Hash natural join on synthetic father/son chains."""
+    schema = DatabaseSchema((RelationSchema("F", 2, ("father", "son")),))
+    state = DatabaseState(schema, {"F": [(i, i + 1) for i in range(rows)]})
+    grand = NaturalJoin(
+        Rename(BaseRelation("F"), (("son", "middle"),)),
+        Rename(BaseRelation("F"), (("father", "middle"), ("son", "grandson"))),
+    )
+    result = benchmark(evaluate_algebra, grand, state)
+    assert len(result.relation) == rows - 1

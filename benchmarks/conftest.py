@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark suite.
+
+Every experiment benchmark times the experiment's ``run()`` with
+pytest-benchmark, prints the rendered result table (so running the benchmark
+regenerates the "figures" of EXPERIMENTS.md), and asserts that the measured
+behaviour matches the paper's claim.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import ExperimentResult, render_result
+
+
+def run_experiment_benchmark(benchmark, run, **kwargs) -> ExperimentResult:
+    """Benchmark an experiment run, print its table, and check consistency."""
+    result = benchmark.pedantic(lambda: run(**kwargs), iterations=1, rounds=1)
+    print()
+    print(render_result(result))
+    assert result.all_rows_consistent, f"{result.experiment_id} disagrees with the paper"
+    return result
+
+
+@pytest.fixture
+def experiment_runner():
+    """Fixture exposing :func:`run_experiment_benchmark` to benchmark modules."""
+    return run_experiment_benchmark

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""A database of computational experiments over the trace domain **T**.
+
+The paper motivates the domain **T** as "a natural choice in several
+applications related to storing results of computations, for example in
+databases of computational experiments".  This example builds such a
+database: a relation of (experiment name, input word) pairs, queried with the
+trace predicate ``P``.
+
+It then walks through the paper's negative results on concrete machines:
+
+* the query ``M(x) = P(M, c, x)`` is finite exactly when the machine halts on
+  the stored input (Theorem 3.3 — relative safety reduces from halting);
+* the Theorem 3.1 certification procedure, driven by the decidable theory of
+  traces, certifies exactly the total machines of a small corpus.
+
+Run with:  python examples/computational_experiments_db.py
+"""
+
+from repro.domains import ReachTracesDomain, TraceDomain
+from repro.logic import Const, atom, conj, exists, print_formula, var
+from repro.relational import DatabaseSchema, DatabaseState, RelationSchema
+from repro.safety import (
+    TotalityEnumerator,
+    TraceRelativeSafety,
+    halting_reduction,
+    query_answer_when_finite,
+    totality_query,
+)
+from repro.turing import (
+    encode_machine,
+    halt_if_marked_else_loop,
+    loop_forever,
+    trace_count,
+    unary_eraser,
+)
+
+
+def main() -> None:
+    trace_domain = TraceDomain()
+
+    # A tiny "lab notebook": which machine was run on which input.
+    schema = DatabaseSchema((RelationSchema("Run", 2, ("machine", "input")),))
+    eraser = encode_machine(unary_eraser())
+    picky = encode_machine(halt_if_marked_else_loop())
+    looper = encode_machine(loop_forever())
+    state = DatabaseState(schema, {"Run": [
+        (eraser, "111"), (picky, "1&1"), (picky, "&11"), (looper, "1"),
+    ]})
+    print("Experiment database:", state.total_rows(), "recorded runs\n")
+
+    # Query: all traces of recorded runs (finite iff every recorded run halts).
+    m, w, p = var("m"), var("w"), var("p")
+    all_traces = exists("m", exists("w", conj(atom("Run", m, w), atom("P", m, w, p))))
+    print("Query (all traces of recorded runs):")
+    print("   ", print_formula(all_traces), "\n")
+
+    for machine_word, input_word in sorted(state["Run"]):
+        count = trace_count(machine_word, input_word, fuel=200)
+        label = "finite" if count is not None else "infinite (machine diverges)"
+        print(f"    run ({machine_word[:14]}..., {input_word!r}): trace set is {label}"
+              + (f", {count} traces" if count is not None else ""))
+    print()
+
+    # Theorem 3.3: relative safety of M(x) in state c := w is the halting problem.
+    decider = TraceRelativeSafety()
+    print("Theorem 3.3 — relative safety is the halting problem:")
+    for input_word in ("1&1", "&11"):
+        query, reduction_state = halting_reduction(picky, input_word)
+        verdict = decider.semi_decide(query, reduction_state, fuel=200)
+        answer = query_answer_when_finite(picky, input_word, fuel=200)
+        print(f"    input {input_word!r}: semi-decision = {verdict.status.value}",
+              f"({len(answer)} traces materialised)" if answer is not None else
+              "(no bound on the trace set was found)")
+    print()
+
+    # Theorem 3.1: the certification procedure enumerates total machines.
+    print("Theorem 3.1 — certifying totality through the decidable theory of traces:")
+    enumerator = TotalityEnumerator(ReachTracesDomain())
+    machines = {"unary_eraser": eraser, "halt_if_marked_else_loop": picky, "loop_forever": looper}
+    candidates = [totality_query(eraser)]
+    certified = {c.machine_word for c in enumerator.enumerate_certified(list(machines.values()), candidates)}
+    for name, word in machines.items():
+        print(f"    {name}: certified total = {word in certified}")
+    print("\n    (only the eraser — the only total machine above — is certified;")
+    print("     a complete effective syntax would have to certify *every* total")
+    print("     machine, yielding an enumeration that cannot exist.)")
+
+
+if __name__ == "__main__":
+    main()

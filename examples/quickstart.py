@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's father/son database, safe and unsafe queries.
+
+This example reproduces the opening of the paper: a database scheme with one
+binary relation ``F`` (father/son), the queries ``M(x)`` ("has more than one
+son") and ``G(x, z)`` ("grandfather/grandson"), and the unsafe formulas
+``¬F(x, y)`` and ``M(x) ∨ G(x, z)``.  It answers the safe queries, shows the
+relative-safety decider rejecting the unsafe ones, and demonstrates the
+active-domain effective syntax.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.domains import EqualityDomain
+from repro.engine import GuardedEngine, QueryEngine
+from repro.experiments.corpora import family_schema, family_state
+from repro.experiments.exp01_intro_queries import (
+    grandfather_query,
+    more_than_one_son_query,
+    unsafe_disjunction_query,
+    unsafe_negation_query,
+)
+from repro.logic import print_formula
+from repro.safety import ActiveDomainSyntax, EqualityRelativeSafety
+
+
+def main() -> None:
+    schema = family_schema()
+    state = family_state(generations=3, sons_per_father=2)
+    domain = EqualityDomain()
+    engine = QueryEngine(domain, schema)
+    decider = EqualityRelativeSafety(domain)
+
+    print("Database scheme:", schema)
+    print(f"Database state: {state.total_rows()} father/son rows\n")
+
+    queries = [
+        ("M(x)  — more than one son", more_than_one_son_query()),
+        ("G(x,z) — grandfather/grandson", grandfather_query()),
+        ("~F(x,y) — unsafe negation", unsafe_negation_query()),
+        ("M(x) | G(x,z) — unsafe disjunction", unsafe_disjunction_query()),
+    ]
+
+    for title, query in queries:
+        print(f"--- {title}")
+        print("   ", print_formula(query))
+        verdict = decider.decide(query, state)
+        print("    relative safety:", verdict.status.value, "—", verdict.details)
+        if verdict.is_finite:
+            answer = engine.answer_active_domain(query, state)
+            print(f"    answer ({len(answer.relation)} rows):",
+                  sorted(answer.relation)[:6], "..." if len(answer.relation) > 6 else "")
+        print()
+
+    # The effective syntax for this domain: restrict answers to the active domain.
+    syntax = ActiveDomainSyntax(schema)
+    guarded = GuardedEngine(engine, syntax=syntax, safety=decider)
+    unsafe = unsafe_disjunction_query()
+    outcome = guarded.answer(unsafe, state, strategy="active-domain")
+    print("Guarded evaluation of the unsafe disjunction:")
+    print("    query rewritten by the syntax guard:", outcome.rewritten)
+    print("    rows returned:", len(outcome.answer.relation))
+    print("    (the restriction keeps only active-domain tuples, so the answer is finite)")
+
+
+if __name__ == "__main__":
+    main()

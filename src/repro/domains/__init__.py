@@ -1,0 +1,46 @@
+"""Domains: carriers, signatures, recursive evaluation, decision procedures."""
+
+from .base import Domain, DomainError, TheoryUndecidableError
+from .equality import EqualityDomain
+from .nat_order import NaturalOrderDomain
+from .presburger import (
+    LinTerm,
+    PresburgerDomain,
+    eliminate_presburger_quantifiers,
+    linearize_term,
+)
+from .reach_traces import (
+    REACH_SIGNATURE,
+    AtLeastConstraint,
+    ExactlyConstraint,
+    ReachTracesDomain,
+    eliminate_reach_quantifiers,
+    expand_trace_predicate,
+    lemma_a2_conflicts,
+    lemma_a2_satisfiable,
+    lemma_a2_witness,
+    padded_prefix,
+    starts_with_padded,
+)
+from .signature import Signature
+from .successor import (
+    SuccessorDomain,
+    eliminate_successor_quantifiers,
+    extended_active_domain_elements,
+    extended_active_domain_radius,
+)
+from .traces_domain import TraceDomain
+
+__all__ = [
+    "Signature", "Domain", "DomainError", "TheoryUndecidableError",
+    "EqualityDomain",
+    "PresburgerDomain", "NaturalOrderDomain", "LinTerm",
+    "linearize_term", "eliminate_presburger_quantifiers",
+    "SuccessorDomain", "eliminate_successor_quantifiers",
+    "extended_active_domain_radius", "extended_active_domain_elements",
+    "TraceDomain", "ReachTracesDomain", "REACH_SIGNATURE",
+    "AtLeastConstraint", "ExactlyConstraint",
+    "lemma_a2_satisfiable", "lemma_a2_conflicts", "lemma_a2_witness",
+    "padded_prefix", "starts_with_padded",
+    "expand_trace_predicate", "eliminate_reach_quantifiers",
+]

@@ -1,0 +1,34 @@
+"""The domain ``(N, <)`` of ordered natural numbers.
+
+This is the key positive example of Section 2.1: there is a finite query that
+is not domain-independent (Fact 2.1), yet the finitization operator of
+Theorem 2.2 provides a recursive syntax for finite queries, and relative
+safety is decidable for every decidable extension (Theorem 2.5).
+
+``NaturalOrderDomain`` is a thin specialisation of the Presburger domain: its
+first-order theory embeds into Presburger arithmetic, so Cooper's quantifier
+elimination doubles as its decision procedure.  The signature exposed to
+query authors is just ``<`` (plus the always-available equality); the richer
+arithmetic symbols remain available because the paper's results hold "for any
+extension of the domain N<".
+"""
+
+from __future__ import annotations
+
+from .presburger import PresburgerDomain
+from .signature import Signature
+
+__all__ = ["NaturalOrderDomain"]
+
+
+class NaturalOrderDomain(PresburgerDomain):
+    """The ordered natural numbers ``(N, <)`` (an extension-friendly view)."""
+
+    signature = Signature(
+        predicates={"<": 2, "<=": 2, ">": 2, ">=": 2},
+        functions={"succ": 1},
+    )
+
+    def __init__(self):
+        super().__init__(carrier="naturals")
+        self.name = "naturals_with_order"

@@ -1,0 +1,63 @@
+"""Signatures of domains: function and predicate symbols with arities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+__all__ = ["Signature"]
+
+
+@dataclass(frozen=True)
+class Signature:
+    """The non-logical symbols of a domain (equality is always implicit).
+
+    ``predicates`` and ``functions`` map symbol names to arities.  Constants
+    for all domain elements are assumed (the paper's convention) and are not
+    listed explicitly.
+    """
+
+    predicates: Mapping[str, int] = field(default_factory=dict)
+    functions: Mapping[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "predicates", dict(self.predicates))
+        object.__setattr__(self, "functions", dict(self.functions))
+        overlap = set(self.predicates) & set(self.functions)
+        if overlap:
+            raise ValueError(f"symbols used both as predicate and function: {overlap}")
+
+    def has_predicate(self, name: str) -> bool:
+        """True iff ``name`` is a predicate symbol of this signature."""
+        return name in self.predicates
+
+    def has_function(self, name: str) -> bool:
+        """True iff ``name`` is a function symbol of this signature."""
+        return name in self.functions
+
+    def predicate_arity(self, name: str) -> int:
+        """The arity of predicate ``name``."""
+        return self.predicates[name]
+
+    def function_arity(self, name: str) -> int:
+        """The arity of function ``name``."""
+        return self.functions[name]
+
+    def merge(self, other: "Signature") -> "Signature":
+        """The union of two signatures; arities must agree on shared symbols."""
+        predicates: Dict[str, int] = dict(self.predicates)
+        for name, arity in other.predicates.items():
+            if predicates.get(name, arity) != arity:
+                raise ValueError(f"conflicting arities for predicate {name!r}")
+            predicates[name] = arity
+        functions: Dict[str, int] = dict(self.functions)
+        for name, arity in other.functions.items():
+            if functions.get(name, arity) != arity:
+                raise ValueError(f"conflicting arities for function {name!r}")
+            functions[name] = arity
+        return Signature(predicates, functions)
+
+    def __str__(self) -> str:
+        preds = ", ".join(f"{n}/{a}" for n, a in sorted(self.predicates.items()))
+        funcs = ", ".join(f"{n}/{a}" for n, a in sorted(self.functions.items()))
+        return f"Signature(predicates=[{preds}], functions=[{funcs}])"

@@ -1,0 +1,83 @@
+"""The domain **T** of traces (Section 3).
+
+The carrier is the set of all words over the alphabet ``{'1', '&', '*', '|'}``
+(the paper's ``{1, &, *, ⋆}``).  The signature contains the single ternary
+predicate ``P`` — ``P(M, w, p)`` holds iff ``M`` is a machine word, ``w`` an
+input word, ``p`` a trace word, and ``p`` is a trace of ``M`` in ``w`` — plus
+constants for every word and equality.
+
+The domain is recursive (Fact A.1): :meth:`TraceDomain.eval_predicate` decides
+``P`` by bounded simulation.  Its first-order theory is decidable
+(Corollary A.4); the decision procedure lives in
+:mod:`repro.domains.reach_traces` and is exposed here through
+:meth:`TraceDomain.decide`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence
+
+from ..logic.formulas import Formula
+from ..relational.state import Element
+from ..turing.traces import classify_word, holds_P, input_of_trace, machine_of_trace
+from ..turing.words import DOMAIN_ALPHABET, WordSort
+from .base import Domain, DomainError
+from .signature import Signature
+
+__all__ = ["TraceDomain"]
+
+
+class TraceDomain(Domain):
+    """The recursive domain **T** with the ternary trace predicate ``P``."""
+
+    name = "traces"
+    signature = Signature(predicates={"P": 3}, functions={})
+    has_decidable_theory = True
+
+    # -- carrier -------------------------------------------------------------
+
+    def contains(self, element: Element) -> bool:
+        return isinstance(element, str) and all(c in DOMAIN_ALPHABET for c in element)
+
+    def enumerate_elements(self) -> Iterator[str]:
+        yield ""
+        for length in itertools.count(1):
+            for letters in itertools.product(DOMAIN_ALPHABET, repeat=length):
+                yield "".join(letters)
+
+    def classify(self, element: str) -> WordSort:
+        """The sort (machine / input / trace / other) of a domain word."""
+        if not self.contains(element):
+            raise DomainError(f"{element!r} is not a word of the trace domain")
+        return classify_word(element)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def eval_function(self, name: str, args: Sequence[Element]) -> Element:
+        value = str(args[0])
+        if name == "w":
+            return input_of_trace(value)
+        if name == "m":
+            return machine_of_trace(value)
+        raise KeyError(f"unknown trace-domain function {name!r}")
+
+    def eval_predicate(self, name: str, args: Sequence[Element]) -> bool:
+        if name == "P":
+            machine_word, input_word, trace_word = (str(a) for a in args)
+            return holds_P(machine_word, input_word, trace_word)
+        raise KeyError(f"unknown trace-domain predicate {name!r}")
+
+    # -- decision procedure ---------------------------------------------------
+
+    def decide(self, sentence: Formula) -> bool:
+        """Decide a pure sentence of the Theory of Traces (Corollary A.4).
+
+        The sentence is translated into the Reach Theory of Traces (the
+        definitional extension of the Appendix) whose quantifier elimination
+        then decides it.
+        """
+        from .reach_traces import ReachTracesDomain
+
+        self._require_sentence(sentence)
+        return ReachTracesDomain().decide(sentence)

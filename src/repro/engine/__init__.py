@@ -1,0 +1,12 @@
+"""Query answering: the Section 1.1 algorithm, active-domain evaluation, guards."""
+
+from .answers import Answer, FiniteAnswer, InfiniteAnswer, UnknownAnswer
+from .enumeration import answer_by_enumeration, enumerate_tuples
+from .evaluator import QueryEngine
+from .safety_guard import GuardedEngine, GuardResult
+
+__all__ = [
+    "Answer", "FiniteAnswer", "InfiniteAnswer", "UnknownAnswer",
+    "answer_by_enumeration", "enumerate_tuples",
+    "QueryEngine", "GuardedEngine", "GuardResult",
+]

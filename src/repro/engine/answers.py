@@ -1,0 +1,61 @@
+"""Answer objects returned by the query engine.
+
+The paper's central tension — finite answers are computable over decidable
+domains, but finiteness itself may be undecidable — is reflected in the three
+possible outcomes: a fully materialised finite answer, a certified-infinite
+answer carrying sample witnesses, or an unknown answer when the engine's fuel
+ran out before the question was settled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..relational.state import Relation
+
+__all__ = ["Answer", "FiniteAnswer", "InfiniteAnswer", "UnknownAnswer"]
+
+
+@dataclass(frozen=True)
+class FiniteAnswer:
+    """A completely materialised finite answer."""
+
+    relation: Relation
+    method: str = ""
+
+    @property
+    def is_finite(self) -> Optional[bool]:
+        return True
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+
+@dataclass(frozen=True)
+class InfiniteAnswer:
+    """The answer is certified infinite; ``sample`` holds finitely many rows of it."""
+
+    sample: Relation
+    reason: str = ""
+    method: str = ""
+
+    @property
+    def is_finite(self) -> Optional[bool]:
+        return False
+
+
+@dataclass(frozen=True)
+class UnknownAnswer:
+    """The engine could not settle the answer within its resource budget."""
+
+    partial: Relation
+    reason: str = ""
+    method: str = ""
+
+    @property
+    def is_finite(self) -> Optional[bool]:
+        return None
+
+
+Answer = object  # union of the three classes above

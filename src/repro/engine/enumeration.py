@@ -1,0 +1,123 @@
+"""The generic query-answering algorithm of Section 1.1.
+
+"Suppose we know somehow that F(x) gives a finite answer in the given database
+state. ... the formula F(x) can be translated into a pure domain formula
+F'(x). ... Now let us order all tuples of elements of the domain of the size
+of x.  Consider the formula ∃x F'(x).  If it is false, then the answer is the
+empty relation. ... by checking F(a1), F(a2), ..., one at a time, we find the
+first a_k that makes the formula F(a_k) true. ... Now take the formula
+∃x (x ≠ a_k ∧ F'(x)). ... Thus, we just described an algorithm (as inefficient
+as it is) for answering queries."
+
+The implementation below is that algorithm, with two pragmatic additions: a
+bound on the number of answer rows (so that infinite queries do not loop
+forever — instead an :class:`~repro.engine.answers.UnknownAnswer` is
+returned), and a bound on the number of candidate tuples examined between two
+rows.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..domains.base import Domain
+from ..logic.analysis import free_variables
+from ..logic.builders import conj, exists_many, neg
+from ..logic.formulas import Equals, Formula
+from ..logic.substitution import substitute
+from ..logic.terms import Const, Var
+from ..relational.state import DatabaseState, Element, Relation
+from ..relational.translate import expand_database_atoms
+from .answers import Answer, FiniteAnswer, UnknownAnswer
+
+__all__ = ["enumerate_tuples", "answer_by_enumeration"]
+
+
+def enumerate_tuples(domain: Domain, arity: int, limit: int) -> Iterator[Tuple[Element, ...]]:
+    """Enumerate up to ``limit`` tuples of domain elements of the given arity.
+
+    Tuples are produced in non-decreasing order of the maximum enumeration
+    index of their components (a fair, dovetailing order), so every tuple is
+    eventually reached.
+    """
+    if arity == 0:
+        yield ()
+        return
+    produced = 0
+    elements: List[Element] = []
+    element_iterator = domain.enumerate_elements()
+    for radius in itertools.count(1):
+        while len(elements) < radius:
+            elements.append(next(element_iterator))
+        for candidate in itertools.product(elements, repeat=arity):
+            if max(elements.index(c) for c in candidate) != radius - 1:
+                continue  # already produced at a smaller radius
+            yield candidate
+            produced += 1
+            if produced >= limit:
+                return
+
+
+def answer_by_enumeration(
+    query: Formula,
+    state: DatabaseState,
+    domain: Domain,
+    max_rows: int = 1000,
+    max_candidates: int = 10_000,
+    free_order: Optional[Sequence[Var]] = None,
+) -> Answer:
+    """Answer ``query`` in ``state`` using the Section 1.1 algorithm.
+
+    Requires a domain with a decision procedure.  Returns a
+    :class:`FiniteAnswer` when the algorithm terminates (which it always does
+    for finite queries, given enough budget), and an :class:`UnknownAnswer`
+    carrying the rows found so far when a budget is exhausted.
+    """
+    pure = expand_database_atoms(query, state)
+    if free_order is None:
+        variables = sorted(free_variables(pure), key=lambda v: v.name)
+    else:
+        variables = list(free_order)
+    arity = len(variables)
+
+    found: List[Tuple[Element, ...]] = []
+
+    def excluded_formula() -> Formula:
+        exclusions = []
+        for row in found:
+            row_equalities = conj(
+                *(Equals(v, Const(value)) for v, value in zip(variables, row))
+            )
+            exclusions.append(neg(row_equalities))
+        return conj(pure, *exclusions)
+
+    while len(found) < max_rows:
+        remaining = excluded_formula()
+        more_exists = exists_many([v.name for v in variables], remaining)
+        if not domain.decide(more_exists):
+            return FiniteAnswer(Relation(arity, found), method="enumeration")
+        # Some further tuple satisfies the query; search for it.
+        located = False
+        for candidate in enumerate_tuples(domain, arity, max_candidates):
+            if candidate in found:
+                continue
+            instantiated = substitute(
+                pure, {v: Const(value) for v, value in zip(variables, candidate)}
+            )
+            if domain.decide(instantiated):
+                found.append(candidate)
+                located = True
+                break
+        if not located:
+            return UnknownAnswer(
+                Relation(arity, found),
+                reason=f"a further answer row exists but was not found among the "
+                f"first {max_candidates} candidate tuples",
+                method="enumeration",
+            )
+    return UnknownAnswer(
+        Relation(arity, found),
+        reason=f"row budget of {max_rows} exhausted; the answer may be infinite",
+        method="enumeration",
+    )

@@ -1,0 +1,102 @@
+"""The query engine facade.
+
+``QueryEngine`` answers relational-calculus queries against a database state
+over a chosen domain, picking between the two strategies the paper discusses:
+
+* **active-domain evaluation** — sound and complete for domain-independent
+  queries (and for queries already restricted by an effective syntax such as
+  the active-domain restriction);
+* **enumeration with the domain's decision procedure** — the Section 1.1
+  algorithm, which computes the answer of *any* finite query over a decidable
+  domain, at the price of a fuel budget when the query might be infinite.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..domains.base import Domain, TheoryUndecidableError
+from ..logic.formulas import Formula
+from ..relational.calculus import evaluate_query_active_domain
+from ..relational.schema import DatabaseSchema
+from ..relational.state import DatabaseState, Element
+from .answers import Answer, FiniteAnswer, UnknownAnswer
+from .enumeration import answer_by_enumeration
+
+__all__ = ["QueryEngine"]
+
+
+class QueryEngine:
+    """Answer queries over a fixed domain and database schema."""
+
+    def __init__(self, domain: Domain, schema: DatabaseSchema):
+        self._domain = domain
+        self._schema = schema
+
+    @property
+    def domain(self) -> Domain:
+        """The domain queries are interpreted over."""
+        return self._domain
+
+    @property
+    def schema(self) -> DatabaseSchema:
+        """The database schema states must conform to."""
+        return self._schema
+
+    def answer_active_domain(
+        self,
+        query: Formula,
+        state: DatabaseState,
+        extra_elements: Iterable[Element] = (),
+    ) -> FiniteAnswer:
+        """Evaluate under active-domain semantics (always finite by construction)."""
+        relation = evaluate_query_active_domain(
+            query, state, interpretation=self._domain, extra_elements=extra_elements
+        )
+        return FiniteAnswer(relation, method="active-domain")
+
+    def answer_by_enumeration(
+        self,
+        query: Formula,
+        state: DatabaseState,
+        max_rows: int = 1000,
+        max_candidates: int = 10_000,
+    ) -> Answer:
+        """Run the Section 1.1 enumeration algorithm (needs a decidable theory)."""
+        if not self._domain.has_decidable_theory:
+            raise TheoryUndecidableError(
+                f"domain {self._domain.name!r} has no decision procedure; "
+                "enumeration-based answering is unavailable"
+            )
+        return answer_by_enumeration(
+            query,
+            state,
+            self._domain,
+            max_rows=max_rows,
+            max_candidates=max_candidates,
+        )
+
+    def answer(
+        self,
+        query: Formula,
+        state: DatabaseState,
+        strategy: str = "auto",
+        max_rows: int = 1000,
+        max_candidates: int = 10_000,
+        extra_elements: Iterable[Element] = (),
+    ) -> Answer:
+        """Answer ``query`` in ``state`` using the requested strategy.
+
+        ``strategy`` is ``"active-domain"``, ``"enumeration"``, or ``"auto"``
+        (enumeration when the domain theory is decidable, active-domain
+        semantics otherwise).
+        """
+        if strategy == "active-domain":
+            return self.answer_active_domain(query, state, extra_elements)
+        if strategy == "enumeration":
+            return self.answer_by_enumeration(query, state, max_rows, max_candidates)
+        if strategy != "auto":
+            raise ValueError(f"unknown strategy {strategy!r}")
+        if self._domain.has_decidable_theory:
+            return self.answer_by_enumeration(query, state, max_rows, max_candidates)
+        return self.answer_active_domain(query, state, extra_elements)

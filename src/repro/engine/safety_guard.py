@@ -1,0 +1,91 @@
+"""Safety-guarded query answering.
+
+The paper discusses two disciplines for keeping answers finite:
+
+* restrict queries to an *effective syntax* before they reach the engine
+  (every admitted query is finite, and no expressive power over the finite
+  queries is lost — when such a syntax exists); or
+* run a *relative safety* check against the actual state and refuse to
+  materialise infinite answers.
+
+``GuardedEngine`` packages both disciplines around a
+:class:`~repro.engine.evaluator.QueryEngine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..logic.formulas import Formula
+from ..relational.state import DatabaseState
+from ..safety.classes import FinitenessStatus, SafetyVerdict
+from ..safety.effective_syntax import EffectiveSyntax
+from ..safety.relative_safety import RelativeSafetyDecider
+from .answers import Answer, InfiniteAnswer, UnknownAnswer
+from .evaluator import QueryEngine
+
+__all__ = ["GuardedEngine", "GuardResult"]
+
+
+@dataclass(frozen=True)
+class GuardResult:
+    """The outcome of a guarded query: the answer plus what the guard did."""
+
+    answer: Answer
+    admitted_query: Formula
+    verdict: Optional[SafetyVerdict] = None
+    rewritten: bool = False
+
+
+class GuardedEngine:
+    """A query engine that applies a syntax restriction and/or a safety check."""
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        syntax: Optional[EffectiveSyntax] = None,
+        safety: Optional[RelativeSafetyDecider] = None,
+    ):
+        self._engine = engine
+        self._syntax = syntax
+        self._safety = safety
+
+    def answer(
+        self,
+        query: Formula,
+        state: DatabaseState,
+        strategy: str = "auto",
+        **engine_options,
+    ) -> GuardResult:
+        """Answer ``query`` after applying the configured guards."""
+        admitted = query
+        rewritten = False
+        if self._syntax is not None and not self._syntax.contains(query):
+            admitted = self._syntax.restrict(query)
+            rewritten = True
+
+        verdict: Optional[SafetyVerdict] = None
+        if self._safety is not None:
+            verdict = self._safety.decide(admitted, state)
+            if verdict.status is FinitenessStatus.INFINITE:
+                from ..relational.state import Relation
+                from ..logic.analysis import free_variables
+
+                arity = len(free_variables(admitted))
+                return GuardResult(
+                    answer=InfiniteAnswer(
+                        Relation(arity, []),
+                        reason="rejected by the relative-safety guard: "
+                        + verdict.details,
+                        method=verdict.method,
+                    ),
+                    admitted_query=admitted,
+                    verdict=verdict,
+                    rewritten=rewritten,
+                )
+
+        answer = self._engine.answer(admitted, state, strategy=strategy, **engine_options)
+        return GuardResult(
+            answer=answer, admitted_query=admitted, verdict=verdict, rewritten=rewritten
+        )

@@ -1,0 +1,59 @@
+"""The experiment harness: one module per paper claim, shared corpora, reporting.
+
+Each ``expNN_*`` module exposes a ``run()`` function returning an
+:class:`~repro.experiments.report.ExperimentResult`; the benchmark suite under
+``benchmarks/`` times these runs and prints the result tables, and
+``EXPERIMENTS.md`` records the paper-claim-versus-measured-outcome summary.
+"""
+
+from . import (
+    exp01_intro_queries,
+    exp02_query_answering,
+    exp03_fact21,
+    exp04_finitization,
+    exp05_extension,
+    exp06_relative_safety_order,
+    exp07_successor,
+    exp08_trace_domain,
+    exp09_lemma_a2,
+    exp10_trace_qe,
+    exp11_no_effective_syntax,
+    exp12_relative_safety_traces,
+)
+from .corpora import (
+    MachineCase,
+    family_schema,
+    family_state,
+    halting_corpus,
+    input_word_sample,
+    machine_corpus,
+    numeric_schema,
+    numeric_state,
+    ordered_query_corpus,
+    presburger_sentences,
+    successor_query_corpus,
+)
+from .report import ExperimentResult, render_result, render_table
+
+ALL_EXPERIMENTS = {
+    "E1": exp01_intro_queries.run,
+    "E2": exp02_query_answering.run,
+    "E3": exp03_fact21.run,
+    "E4": exp04_finitization.run,
+    "E5": exp05_extension.run,
+    "E6": exp06_relative_safety_order.run,
+    "E7": exp07_successor.run,
+    "E8": exp08_trace_domain.run,
+    "E9": exp09_lemma_a2.run,
+    "E10": exp10_trace_qe.run,
+    "E11": exp11_no_effective_syntax.run,
+    "E12": exp12_relative_safety_traces.run,
+}
+
+__all__ = [
+    "ExperimentResult", "render_result", "render_table", "ALL_EXPERIMENTS",
+    "MachineCase", "machine_corpus", "halting_corpus",
+    "family_schema", "family_state", "numeric_schema", "numeric_state",
+    "ordered_query_corpus", "successor_query_corpus", "presburger_sentences",
+    "input_word_sample",
+]

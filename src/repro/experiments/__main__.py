@@ -1,0 +1,59 @@
+"""Command-line entry point for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments            # run every experiment, print its table
+    python -m repro.experiments E11 E12    # run selected experiments only
+    python -m repro.experiments --list     # list experiment ids and claims
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import ALL_EXPERIMENTS
+from .report import render_result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run the experiments reproducing the paper's claims.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXP",
+        help="experiment ids to run (E1 .. E12); default: all",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for key in sorted(ALL_EXPERIMENTS, key=lambda k: int(k[1:])):
+            print(key, "-", ALL_EXPERIMENTS[key].__module__.rsplit(".", 1)[-1])
+        return 0
+
+    selected = args.experiments or sorted(ALL_EXPERIMENTS, key=lambda k: int(k[1:]))
+    unknown = [key for key in selected if key not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment id(s): {', '.join(unknown)}")
+
+    all_consistent = True
+    for key in selected:
+        started = time.perf_counter()
+        result = ALL_EXPERIMENTS[key]()
+        elapsed = time.perf_counter() - started
+        print(render_result(result))
+        print(f"[{key} completed in {elapsed:.2f}s]")
+        print()
+        all_consistent = all_consistent and result.all_rows_consistent
+    return 0 if all_consistent else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""E3 — Fact 2.1: a finite but not domain-independent query over ``(N, <)``.
+
+The query defines the least element strictly greater than the whole active
+domain.  Its answer always has exactly one element (finite), but that element
+escapes the active domain and changes as the state changes (not
+domain-independent).  The experiment evaluates the query over growing states
+and records both facts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..domains.nat_order import NaturalOrderDomain
+from ..relational.active_domain import active_domain
+from ..safety.domain_independence import answer_over_universe, check_domain_independence, fact_2_1_query
+from .corpora import numeric_schema, numeric_state
+from .report import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(state_values: Sequence[Sequence[int]] = ((1, 4), (2, 5, 9), (0, 3, 7, 11))) -> ExperimentResult:
+    """Evaluate the Fact 2.1 query over several states of ``{S/1}``."""
+    result = ExperimentResult(
+        experiment_id="E3 (Fact 2.1)",
+        claim="the 'least upper bound of the active domain' query is finite "
+        "(one-element answer) but not domain-independent",
+        headers=(
+            "state", "expected element", "answer (wide universe)",
+            "escapes active domain", "domain-independence refuted", "matches claim",
+        ),
+    )
+    domain = NaturalOrderDomain()
+    schema = numeric_schema()
+    query = fact_2_1_query(schema)
+    for values in state_values:
+        state = numeric_state(values)
+        expected = max(values) + 1
+        adom = active_domain(state, query)
+        universe = sorted(set(adom) | set(range(0, expected + 3)))
+        answer = answer_over_universe(query, state, domain, universe)
+        rows = sorted(answer.rows)
+        verdict = check_domain_independence(
+            query, state, domain, extra_elements=range(0, expected + 3)
+        )
+        escapes = all(value not in adom for (value,) in rows) and bool(rows)
+        matches = (
+            rows == [(expected,)]
+            and escapes
+            and verdict.is_finite is False  # i.e. domain independence refuted
+        )
+        result.add_row(
+            str(sorted(values)), expected, rows, escapes,
+            verdict.status.value == "infinite", matches,
+        )
+    result.conclusion = (
+        "the answer is the single element just above the active domain in every "
+        "state, and domain independence is refuted every time"
+        if result.all_rows_consistent
+        else "MISMATCH with Fact 2.1"
+    )
+    return result

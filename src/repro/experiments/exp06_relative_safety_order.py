@@ -1,0 +1,44 @@
+"""E6 — Theorem 2.5: relative safety is decidable for decidable extensions of ``(N, <)``.
+
+The decider translates the query into a pure domain formula for the given
+state and asks the Presburger decision procedure whether it is equivalent to
+its finitization.  The experiment runs it over the ordered-query corpus, whose
+finiteness ground truth (in the states used) is known by construction, and
+over several states.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..domains.presburger import PresburgerDomain
+from ..safety.relative_safety import OrderedRelativeSafety
+from .corpora import numeric_state, ordered_query_corpus
+from .report import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(states: Sequence[Sequence[int]] = ((2, 5), (1, 4, 9), (0, 2, 6, 11))) -> ExperimentResult:
+    """Decide relative safety for every corpus query in every state."""
+    result = ExperimentResult(
+        experiment_id="E6 (Theorem 2.5)",
+        claim="relative safety is decidable over decidable extensions of (N, <): "
+        "a query is finite in a state iff it is equivalent to its finitization there",
+        headers=("state", "query", "ground truth finite", "decided finite", "matches"),
+    )
+    decider = OrderedRelativeSafety(PresburgerDomain())
+    for values in states:
+        state = numeric_state(values)
+        for name, query, expected_finite in ordered_query_corpus():
+            verdict = decider.decide(query, state)
+            decided = verdict.is_finite
+            result.add_row(str(sorted(values)), name, expected_finite, decided,
+                           decided == expected_finite)
+    result.conclusion = (
+        "the finitization-equivalence decider classifies every (query, state) "
+        "pair correctly"
+        if result.all_rows_consistent
+        else "MISMATCH with Theorem 2.5"
+    )
+    return result

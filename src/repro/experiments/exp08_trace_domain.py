@@ -1,0 +1,52 @@
+"""E8 — Section 3: the trace domain's basic structure.
+
+"If M does not stop in w, there are infinitely many different traces of M in
+w.  However, if it does stop in w, then the number of different traces is
+finite."  The experiment classifies words into the four sorts, generates
+traces of corpus machines on corpus inputs, verifies ``P`` against the
+simulator, and records the trace counts versus the ground-truth halting
+behaviour.
+"""
+
+from __future__ import annotations
+
+from ..domains.traces_domain import TraceDomain
+from ..turing.traces import holds_P, trace_count, traces_of
+from ..turing.words import WordSort
+from .corpora import halting_corpus, machine_corpus
+from .report import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(fuel: int = 200, sample_traces: int = 5) -> ExperimentResult:
+    """Generate traces and compare counts with the ground-truth halting data."""
+    result = ExperimentResult(
+        experiment_id="E8 (Section 3: the domain T)",
+        claim="traces are finite in number exactly when the machine halts on the "
+        "input; P(M, w, p) holds exactly for the generated traces; the four "
+        "sorts partition the domain",
+        headers=("machine", "input", "halts (ground truth)", "trace count (fuel-bounded)",
+                 "P holds for generated traces", "matches claim"),
+    )
+    domain = TraceDomain()
+    for case, word, halts in halting_corpus():
+        count = trace_count(case.word, word, fuel)
+        generated = list(traces_of(case.word, word, sample_traces))
+        p_holds = all(holds_P(case.word, word, trace) for trace in generated)
+        sorts_ok = (
+            domain.classify(case.word) is WordSort.MACHINE
+            and domain.classify(word) is WordSort.INPUT
+            and all(domain.classify(trace) is WordSort.TRACE for trace in generated)
+        )
+        finite_matches = (count is not None) == halts
+        matches = finite_matches and p_holds and sorts_ok
+        result.add_row(case.name, repr(word), halts,
+                       count if count is not None else f"> {fuel}", p_holds, matches)
+    result.conclusion = (
+        "trace counts, the predicate P, and the sort partition all behave as "
+        "Section 3 describes"
+        if result.all_rows_consistent
+        else "MISMATCH with Section 3"
+    )
+    return result

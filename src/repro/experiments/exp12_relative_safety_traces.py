@@ -1,0 +1,65 @@
+"""E12 — Theorem 3.3: relative safety over **T** is undecidable.
+
+The reduction maps a halting instance ``(M, w)`` to the relative-safety
+instance "is ``M(x)`` finite in the state ``c := w``?".  The experiment checks
+the biconditional on the halting corpus (machines and inputs with ground-truth
+halting status), shows that a halting oracle would decide every instance
+correctly, and that the fuel-bounded semi-decision procedure never errs (it
+answers FINITE only on halting instances and UNKNOWN otherwise).
+"""
+
+from __future__ import annotations
+
+from ..safety.relative_safety import RelativeSafetyUndecidable, TraceRelativeSafety
+from ..safety.reductions import halting_reduction, query_answer_when_finite
+from .corpora import halting_corpus
+from .report import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(fuel: int = 300) -> ExperimentResult:
+    """Exercise the Theorem 3.3 reduction on the ground-truth halting corpus."""
+    result = ExperimentResult(
+        experiment_id="E12 (Theorem 3.3)",
+        claim="M(x) is finite in state c := w iff M halts on w; hence relative "
+        "safety over T is undecidable (only oracle- or fuel-bounded answers exist)",
+        headers=("machine", "input", "halts (ground truth)", "oracle verdict",
+                 "semi-decision", "answer rows (if finite)", "matches claim"),
+    )
+    decider = TraceRelativeSafety()
+
+    def ground_truth_oracle(machine_word: str, input_word: str) -> bool:
+        for case, word, halts in halting_corpus():
+            if case.word == machine_word and word == input_word:
+                return halts
+        raise KeyError("instance outside the corpus")
+
+    undecidable_guard_raised = False
+    for case, word, halts in halting_corpus():
+        query, state = halting_reduction(case.word, word)
+        try:
+            decider.decide(query, state)
+        except RelativeSafetyUndecidable:
+            undecidable_guard_raised = True
+
+        oracle_verdict = decider.decide_with_oracle(query, state, ground_truth_oracle)
+        semi = decider.semi_decide(query, state, fuel=fuel)
+        answer = query_answer_when_finite(case.word, word, fuel)
+        rows = len(answer) if answer is not None else "-"
+
+        oracle_matches = oracle_verdict.is_finite == halts
+        semi_sound = (semi.is_finite is True and halts) or (semi.is_finite is None and not halts)
+        answer_matches = (answer is not None) == halts
+        matches = oracle_matches and semi_sound and answer_matches and undecidable_guard_raised
+        result.add_row(case.name, repr(word), halts, oracle_verdict.status.value,
+                       semi.status.value, rows, matches)
+
+    result.conclusion = (
+        "finiteness of M(x) in state c := w coincides with halting on every corpus "
+        "instance; the general decider correctly refuses (undecidability), while "
+        "the oracle-backed decider settles every instance"
+        if result.all_rows_consistent
+        else "MISMATCH with Theorem 3.3"
+    )
+    return result

@@ -1,0 +1,66 @@
+"""Plain-text reporting for experiments.
+
+Every experiment module produces an :class:`ExperimentResult`; the benchmark
+harness prints it with :func:`render_table`, which is also how the rows in
+``EXPERIMENTS.md`` were generated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+__all__ = ["ExperimentResult", "render_table", "render_result"]
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one experiment.
+
+    ``claim`` is the paper's statement being reproduced, ``headers``/``rows``
+    form the result table, and ``conclusion`` summarises whether the measured
+    behaviour matches the claim (set by the experiment code, verified by the
+    test-suite assertions).
+    """
+
+    experiment_id: str
+    claim: str
+    headers: Tuple[str, ...]
+    rows: List[Tuple] = field(default_factory=list)
+    conclusion: str = ""
+
+    def add_row(self, *values) -> None:
+        """Append one row to the result table."""
+        self.rows.append(tuple(values))
+
+    @property
+    def all_rows_consistent(self) -> bool:
+        """True iff every row's final column is truthy (the per-row check)."""
+        return all(bool(row[-1]) for row in self.rows)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render a list of rows as an aligned plain-text table."""
+    columns = [list(map(str, column)) for column in zip(*([headers] + [list(r) for r in rows]))] if rows else [[h] for h in headers]
+    widths = [max(len(cell) for cell in column) for column in columns]
+
+    def format_row(cells: Sequence[str]) -> str:
+        return " | ".join(str(cell).ljust(width) for cell, width in zip(cells, widths))
+
+    lines = [format_row(headers), "-+-".join("-" * w for w in widths)]
+    for row in rows:
+        lines.append(format_row([str(c) for c in row]))
+    return "\n".join(lines)
+
+
+def render_result(result: ExperimentResult) -> str:
+    """Render a full experiment result (claim, table, conclusion)."""
+    parts = [
+        f"== {result.experiment_id} ==",
+        f"Claim: {result.claim}",
+        "",
+        render_table(result.headers, result.rows),
+    ]
+    if result.conclusion:
+        parts += ["", f"Conclusion: {result.conclusion}"]
+    return "\n".join(parts)

@@ -1,0 +1,102 @@
+"""First-order logic substrate: terms, formulas, parsing, transformations.
+
+This package implements the relational-calculus query language used by the
+paper (first-order logic over a domain signature plus database relation
+symbols) together with the generic machinery every quantifier-elimination
+procedure in :mod:`repro.domains` relies on.
+"""
+
+from .analysis import (
+    all_variables,
+    atoms_of,
+    bound_variables,
+    constants_of,
+    formula_size,
+    free_variables,
+    functions_of,
+    predicates_of,
+    quantifier_depth,
+)
+from .builders import (
+    apply,
+    atom,
+    conj,
+    const,
+    disj,
+    eq,
+    exists,
+    exists_many,
+    forall,
+    forall_many,
+    iff,
+    implies,
+    neg,
+    neq,
+    term,
+    var,
+)
+from .formulas import (
+    BOTTOM,
+    TOP,
+    And,
+    Atom,
+    Bottom,
+    Equals,
+    Exists,
+    ForAll,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+    is_atomic,
+    is_literal,
+    is_quantifier_free,
+    walk_formulas,
+)
+from .parser import ParseError, parse_formula, parse_term
+from .printer import print_formula, print_term
+from .substitution import (
+    fresh_variable,
+    fresh_variables,
+    rename_bound_variables,
+    replace_constant_with_variable,
+    substitute,
+    substitute_constant,
+    substitute_term,
+)
+from .terms import Apply, Const, Term, Var, is_ground, term_constants, term_variables
+from .transform import (
+    dnf_clauses,
+    eliminate_quantifiers,
+    matrix_and_prefix,
+    simplify,
+    to_dnf,
+    to_nnf,
+    to_prenex,
+)
+
+__all__ = [
+    # terms
+    "Term", "Var", "Const", "Apply", "is_ground", "term_constants", "term_variables",
+    # formulas
+    "Formula", "Atom", "Equals", "Not", "And", "Or", "Implies", "Iff",
+    "Exists", "ForAll", "Top", "Bottom", "TOP", "BOTTOM",
+    "walk_formulas", "is_quantifier_free", "is_literal", "is_atomic",
+    # builders
+    "term", "var", "const", "apply", "atom", "eq", "neq", "neg", "conj", "disj",
+    "implies", "iff", "exists", "forall", "exists_many", "forall_many",
+    # analysis
+    "free_variables", "bound_variables", "all_variables", "constants_of",
+    "predicates_of", "functions_of", "quantifier_depth", "formula_size", "atoms_of",
+    # substitution
+    "substitute", "substitute_term", "substitute_constant",
+    "replace_constant_with_variable", "fresh_variable", "fresh_variables",
+    "rename_bound_variables",
+    # transforms
+    "simplify", "to_nnf", "to_prenex", "to_dnf", "dnf_clauses",
+    "matrix_and_prefix", "eliminate_quantifiers",
+    # parsing / printing
+    "parse_formula", "parse_term", "print_formula", "print_term", "ParseError",
+]

@@ -1,0 +1,158 @@
+"""Static analysis of formulas: free variables, quantifier rank, symbols used.
+
+These analyses drive several pieces of the paper's machinery, in particular
+the quantifier-depth-dependent radius ``2^q`` of the extended active domain in
+Section 2.2 and the constant-collection step of the active-domain translation
+of Section 1.1.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Set
+
+from .formulas import (
+    And,
+    Atom,
+    Bottom,
+    Equals,
+    Exists,
+    ForAll,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+    walk_formulas,
+)
+from .terms import Const, Var, term_constants, term_functions, term_variables
+
+__all__ = [
+    "free_variables",
+    "bound_variables",
+    "all_variables",
+    "constants_of",
+    "predicates_of",
+    "functions_of",
+    "quantifier_depth",
+    "formula_size",
+    "atoms_of",
+]
+
+
+def free_variables(formula: Formula) -> FrozenSet[Var]:
+    """The set of variables occurring free in ``formula``."""
+    if isinstance(formula, Atom):
+        result: Set[Var] = set()
+        for arg in formula.args:
+            result |= term_variables(arg)
+        return frozenset(result)
+    if isinstance(formula, Equals):
+        return term_variables(formula.left) | term_variables(formula.right)
+    if isinstance(formula, Not):
+        return free_variables(formula.body)
+    if isinstance(formula, And):
+        result = set()
+        for c in formula.conjuncts:
+            result |= free_variables(c)
+        return frozenset(result)
+    if isinstance(formula, Or):
+        result = set()
+        for d in formula.disjuncts:
+            result |= free_variables(d)
+        return frozenset(result)
+    if isinstance(formula, Implies):
+        return free_variables(formula.antecedent) | free_variables(formula.consequent)
+    if isinstance(formula, Iff):
+        return free_variables(formula.left) | free_variables(formula.right)
+    if isinstance(formula, (Exists, ForAll)):
+        return free_variables(formula.body) - {Var(formula.var)}
+    if isinstance(formula, (Top, Bottom)):
+        return frozenset()
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def bound_variables(formula: Formula) -> FrozenSet[Var]:
+    """The set of variables bound by some quantifier in ``formula``."""
+    return frozenset(
+        Var(sub.var)
+        for sub in walk_formulas(formula)
+        if isinstance(sub, (Exists, ForAll))
+    )
+
+
+def all_variables(formula: Formula) -> FrozenSet[Var]:
+    """All variables occurring in ``formula``, free or bound."""
+    result: Set[Var] = set(bound_variables(formula))
+    for sub in walk_formulas(formula):
+        if isinstance(sub, Atom):
+            for arg in sub.args:
+                result |= term_variables(arg)
+        elif isinstance(sub, Equals):
+            result |= term_variables(sub.left) | term_variables(sub.right)
+    return frozenset(result)
+
+
+def constants_of(formula: Formula) -> FrozenSet[Const]:
+    """All constants occurring in ``formula``."""
+    result: Set[Const] = set()
+    for sub in walk_formulas(formula):
+        if isinstance(sub, Atom):
+            for arg in sub.args:
+                result |= term_constants(arg)
+        elif isinstance(sub, Equals):
+            result |= term_constants(sub.left) | term_constants(sub.right)
+    return frozenset(result)
+
+
+def predicates_of(formula: Formula) -> FrozenSet[str]:
+    """All predicate symbols (excluding equality) occurring in ``formula``."""
+    return frozenset(
+        sub.predicate for sub in walk_formulas(formula) if isinstance(sub, Atom)
+    )
+
+
+def functions_of(formula: Formula) -> FrozenSet[str]:
+    """All function symbols occurring in ``formula``."""
+    result: Set[str] = set()
+    for sub in walk_formulas(formula):
+        if isinstance(sub, Atom):
+            for arg in sub.args:
+                result |= term_functions(arg)
+        elif isinstance(sub, Equals):
+            result |= term_functions(sub.left) | term_functions(sub.right)
+    return frozenset(result)
+
+
+def atoms_of(formula: Formula) -> tuple:
+    """All atomic subformulas (atoms and equalities), in pre-order."""
+    return tuple(
+        sub for sub in walk_formulas(formula) if isinstance(sub, (Atom, Equals))
+    )
+
+
+def quantifier_depth(formula: Formula) -> int:
+    """The quantifier rank (maximum nesting depth of quantifiers)."""
+    if isinstance(formula, (Atom, Equals, Top, Bottom)):
+        return 0
+    if isinstance(formula, Not):
+        return quantifier_depth(formula.body)
+    if isinstance(formula, And):
+        return max((quantifier_depth(c) for c in formula.conjuncts), default=0)
+    if isinstance(formula, Or):
+        return max((quantifier_depth(d) for d in formula.disjuncts), default=0)
+    if isinstance(formula, Implies):
+        return max(
+            quantifier_depth(formula.antecedent),
+            quantifier_depth(formula.consequent),
+        )
+    if isinstance(formula, Iff):
+        return max(quantifier_depth(formula.left), quantifier_depth(formula.right))
+    if isinstance(formula, (Exists, ForAll)):
+        return 1 + quantifier_depth(formula.body)
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def formula_size(formula: Formula) -> int:
+    """Number of formula nodes (atoms, connectives, quantifiers)."""
+    return sum(1 for _ in walk_formulas(formula))

@@ -1,0 +1,187 @@
+"""Ergonomic constructors for formulas and terms.
+
+These helpers flatten nested conjunctions/disjunctions, absorb the logical
+constants, and accept bare strings/ints where a term is expected, which keeps
+examples and tests close to the notation of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+from .formulas import (
+    BOTTOM,
+    TOP,
+    And,
+    Atom,
+    Bottom,
+    Equals,
+    Exists,
+    ForAll,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+)
+from .terms import Apply, Const, Term, Var
+
+__all__ = [
+    "term",
+    "var",
+    "const",
+    "apply",
+    "atom",
+    "eq",
+    "neq",
+    "neg",
+    "conj",
+    "disj",
+    "implies",
+    "iff",
+    "exists",
+    "forall",
+    "exists_many",
+    "forall_many",
+]
+
+TermLike = Union[Term, str, int]
+
+
+def term(value: TermLike) -> Term:
+    """Coerce a Python value into a term.
+
+    Strings are treated as variable names when they are valid identifiers that
+    start with a lowercase letter, otherwise as string constants; integers are
+    integer constants; terms pass through unchanged.
+    """
+    if isinstance(value, (Var, Const, Apply)):
+        return value
+    if isinstance(value, bool):
+        raise TypeError("booleans are not terms")
+    if isinstance(value, int):
+        return Const(value)
+    if isinstance(value, str):
+        if value.isidentifier():
+            return Var(value)
+        return Const(value)
+    raise TypeError(f"cannot coerce {value!r} into a term")
+
+
+def var(name: str) -> Var:
+    """A variable with the given name."""
+    return Var(name)
+
+
+def const(value: Union[int, str]) -> Const:
+    """A constant with the given domain value."""
+    return Const(value)
+
+
+def apply(function: str, *args: TermLike) -> Apply:
+    """Apply a function symbol to argument terms."""
+    return Apply(function, tuple(term(a) for a in args))
+
+
+def atom(predicate: str, *args: TermLike) -> Atom:
+    """An atomic formula over the given predicate symbol."""
+    return Atom(predicate, tuple(term(a) for a in args))
+
+
+def eq(left: TermLike, right: TermLike) -> Equals:
+    """The equality atom."""
+    return Equals(term(left), term(right))
+
+
+def neq(left: TermLike, right: TermLike) -> Not:
+    """The negated equality atom."""
+    return Not(eq(left, right))
+
+
+def neg(formula: Formula) -> Formula:
+    """Negation, with double negations and constants absorbed."""
+    if isinstance(formula, Not):
+        return formula.body
+    if isinstance(formula, Top):
+        return BOTTOM
+    if isinstance(formula, Bottom):
+        return TOP
+    return Not(formula)
+
+
+def _flatten(parts: Iterable[Formula], cls) -> list:
+    flat: list = []
+    for part in parts:
+        if isinstance(part, cls):
+            attr = part.conjuncts if cls is And else part.disjuncts
+            flat.extend(attr)
+        else:
+            flat.append(part)
+    return flat
+
+
+def conj(*parts: Formula) -> Formula:
+    """Conjunction of the given formulas, flattened, deduplicated and simplified."""
+    flat = _flatten(parts, And)
+    flat = [p for p in flat if not isinstance(p, Top)]
+    if any(isinstance(p, Bottom) for p in flat):
+        return BOTTOM
+    flat = list(dict.fromkeys(flat))
+    if not flat:
+        return TOP
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def disj(*parts: Formula) -> Formula:
+    """Disjunction of the given formulas, flattened, deduplicated and simplified."""
+    flat = _flatten(parts, Or)
+    flat = [p for p in flat if not isinstance(p, Bottom)]
+    if any(isinstance(p, Top) for p in flat):
+        return TOP
+    flat = list(dict.fromkeys(flat))
+    if not flat:
+        return BOTTOM
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def implies(antecedent: Formula, consequent: Formula) -> Formula:
+    """Implication."""
+    return Implies(antecedent, consequent)
+
+
+def iff(left: Formula, right: Formula) -> Formula:
+    """Biconditional."""
+    return Iff(left, right)
+
+
+def exists(variable: Union[str, Var], body: Formula) -> Exists:
+    """Existential quantification."""
+    name = variable.name if isinstance(variable, Var) else variable
+    return Exists(name, body)
+
+
+def forall(variable: Union[str, Var], body: Formula) -> ForAll:
+    """Universal quantification."""
+    name = variable.name if isinstance(variable, Var) else variable
+    return ForAll(name, body)
+
+
+def exists_many(variables: Sequence[Union[str, Var]], body: Formula) -> Formula:
+    """Existential quantification over a block of variables."""
+    result = body
+    for variable in reversed(list(variables)):
+        result = exists(variable, result)
+    return result
+
+
+def forall_many(variables: Sequence[Union[str, Var]], body: Formula) -> Formula:
+    """Universal quantification over a block of variables."""
+    result = body
+    for variable in reversed(list(variables)):
+        result = forall(variable, result)
+    return result

@@ -1,0 +1,217 @@
+"""First-order formulas.
+
+The formula AST follows the relational-calculus dialect used in the paper:
+atoms over a mixed signature (domain predicates plus database relation
+symbols), equality, the boolean connectives, and the two quantifiers.
+
+Formulas are immutable and hashable.  ``And``/``Or`` are n-ary with a tuple of
+operands; the nullary cases are the logical constants ``Top`` and ``Bottom``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple, Union
+
+from .terms import Term
+
+__all__ = [
+    "Formula",
+    "Atom",
+    "Equals",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Iff",
+    "Exists",
+    "ForAll",
+    "Top",
+    "Bottom",
+    "TOP",
+    "BOTTOM",
+    "walk_formulas",
+    "is_quantifier_free",
+    "is_literal",
+    "is_atomic",
+]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """An atomic formula ``predicate(args...)``.
+
+    The predicate name may belong to the domain signature (e.g. ``P``, ``<``)
+    or to the database scheme (e.g. ``F`` for the father/son relation of the
+    paper's introduction).  Which is which is determined by the schema and the
+    domain, not by the AST.
+    """
+
+    predicate: str
+    args: Tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "args", tuple(self.args))
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.predicate}({inner})"
+
+
+@dataclass(frozen=True)
+class Equals:
+    """The equality atom ``left = right`` (equality is always available)."""
+
+    left: Term
+    right: Term
+
+    def __str__(self) -> str:
+        return f"({self.left} = {self.right})"
+
+
+@dataclass(frozen=True)
+class Not:
+    """Negation."""
+
+    body: "Formula"
+
+    def __str__(self) -> str:
+        return f"~{self.body}"
+
+
+@dataclass(frozen=True)
+class And:
+    """N-ary conjunction."""
+
+    conjuncts: Tuple["Formula", ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "conjuncts", tuple(self.conjuncts))
+
+    def __str__(self) -> str:
+        if not self.conjuncts:
+            return "true"
+        return "(" + " & ".join(str(c) for c in self.conjuncts) + ")"
+
+
+@dataclass(frozen=True)
+class Or:
+    """N-ary disjunction."""
+
+    disjuncts: Tuple["Formula", ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "disjuncts", tuple(self.disjuncts))
+
+    def __str__(self) -> str:
+        if not self.disjuncts:
+            return "false"
+        return "(" + " | ".join(str(d) for d in self.disjuncts) + ")"
+
+
+@dataclass(frozen=True)
+class Implies:
+    """Implication ``antecedent -> consequent``."""
+
+    antecedent: "Formula"
+    consequent: "Formula"
+
+    def __str__(self) -> str:
+        return f"({self.antecedent} -> {self.consequent})"
+
+
+@dataclass(frozen=True)
+class Iff:
+    """Biconditional ``left <-> right``."""
+
+    left: "Formula"
+    right: "Formula"
+
+    def __str__(self) -> str:
+        return f"({self.left} <-> {self.right})"
+
+
+@dataclass(frozen=True)
+class Exists:
+    """Existential quantification ``exists var . body``."""
+
+    var: str
+    body: "Formula"
+
+    def __str__(self) -> str:
+        return f"(exists {self.var}. {self.body})"
+
+
+@dataclass(frozen=True)
+class ForAll:
+    """Universal quantification ``forall var . body``."""
+
+    var: str
+    body: "Formula"
+
+    def __str__(self) -> str:
+        return f"(forall {self.var}. {self.body})"
+
+
+@dataclass(frozen=True)
+class Top:
+    """The logical constant true."""
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class Bottom:
+    """The logical constant false."""
+
+    def __str__(self) -> str:
+        return "false"
+
+
+TOP = Top()
+BOTTOM = Bottom()
+
+Formula = Union[
+    Atom, Equals, Not, And, Or, Implies, Iff, Exists, ForAll, Top, Bottom
+]
+
+
+def walk_formulas(formula: Formula) -> Iterator[Formula]:
+    """Yield ``formula`` and all of its subformulas, in pre-order."""
+    yield formula
+    if isinstance(formula, Not):
+        yield from walk_formulas(formula.body)
+    elif isinstance(formula, And):
+        for c in formula.conjuncts:
+            yield from walk_formulas(c)
+    elif isinstance(formula, Or):
+        for d in formula.disjuncts:
+            yield from walk_formulas(d)
+    elif isinstance(formula, Implies):
+        yield from walk_formulas(formula.antecedent)
+        yield from walk_formulas(formula.consequent)
+    elif isinstance(formula, Iff):
+        yield from walk_formulas(formula.left)
+        yield from walk_formulas(formula.right)
+    elif isinstance(formula, (Exists, ForAll)):
+        yield from walk_formulas(formula.body)
+
+
+def is_atomic(formula: Formula) -> bool:
+    """True iff ``formula`` is an atom, an equality, or a logical constant."""
+    return isinstance(formula, (Atom, Equals, Top, Bottom))
+
+
+def is_literal(formula: Formula) -> bool:
+    """True iff ``formula`` is atomic or the negation of an atomic formula."""
+    if is_atomic(formula):
+        return True
+    return isinstance(formula, Not) and is_atomic(formula.body)
+
+
+def is_quantifier_free(formula: Formula) -> bool:
+    """True iff ``formula`` contains no quantifiers."""
+    return not any(
+        isinstance(sub, (Exists, ForAll)) for sub in walk_formulas(formula)
+    )

@@ -1,0 +1,82 @@
+"""Pretty-printing of formulas and terms in the concrete syntax of the parser.
+
+``parse_formula(print_formula(f))`` produces a formula logically identical to
+``f`` (modulo flattening of nested conjunctions/disjunctions, which the
+builders already perform); the round-trip property is covered by
+property-based tests.
+"""
+
+from __future__ import annotations
+
+from .formulas import (
+    And,
+    Atom,
+    Bottom,
+    Equals,
+    Exists,
+    ForAll,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+)
+from .terms import Apply, Const, Term, Var
+
+__all__ = ["print_term", "print_formula"]
+
+_INFIX_FUNCTIONS = {"+", "-", "*"}
+_INFIX_PREDICATES = {"<", "<=", ">", ">="}
+
+
+def print_term(term: Term) -> str:
+    """Render a term in the concrete syntax."""
+    if isinstance(term, Var):
+        return term.name
+    if isinstance(term, Const):
+        if isinstance(term.value, str):
+            return "'" + term.value + "'"
+        return str(term.value)
+    if isinstance(term, Apply):
+        if term.function in _INFIX_FUNCTIONS and len(term.args) == 2:
+            left, right = term.args
+            return f"({print_term(left)} {term.function} {print_term(right)})"
+        inner = ", ".join(print_term(a) for a in term.args)
+        return f"{term.function}({inner})"
+    raise TypeError(f"not a term: {term!r}")
+
+
+def print_formula(formula: Formula) -> str:
+    """Render a formula in the concrete syntax accepted by ``parse_formula``."""
+    if isinstance(formula, Top):
+        return "true"
+    if isinstance(formula, Bottom):
+        return "false"
+    if isinstance(formula, Atom):
+        if formula.predicate in _INFIX_PREDICATES and len(formula.args) == 2:
+            left, right = formula.args
+            return f"({print_term(left)} {formula.predicate} {print_term(right)})"
+        inner = ", ".join(print_term(a) for a in formula.args)
+        return f"{formula.predicate}({inner})"
+    if isinstance(formula, Equals):
+        return f"({print_term(formula.left)} = {print_term(formula.right)})"
+    if isinstance(formula, Not):
+        return f"~({print_formula(formula.body)})"
+    if isinstance(formula, And):
+        if not formula.conjuncts:
+            return "true"
+        return "(" + " & ".join(print_formula(c) for c in formula.conjuncts) + ")"
+    if isinstance(formula, Or):
+        if not formula.disjuncts:
+            return "false"
+        return "(" + " | ".join(print_formula(d) for d in formula.disjuncts) + ")"
+    if isinstance(formula, Implies):
+        return f"({print_formula(formula.antecedent)} -> {print_formula(formula.consequent)})"
+    if isinstance(formula, Iff):
+        return f"({print_formula(formula.left)} <-> {print_formula(formula.right)})"
+    if isinstance(formula, Exists):
+        return f"(exists {formula.var}. {print_formula(formula.body)})"
+    if isinstance(formula, ForAll):
+        return f"(forall {formula.var}. {print_formula(formula.body)})"
+    raise TypeError(f"not a formula: {formula!r}")

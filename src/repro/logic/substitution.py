@@ -1,0 +1,217 @@
+"""Substitution of terms for variables and constants.
+
+Two operations matter for the paper:
+
+* ordinary capture-avoiding substitution of terms for free variables, used by
+  every quantifier-elimination procedure; and
+* the ``[z/c]`` operation of Theorem 3.1 — replacing a *constant symbol* by a
+  *variable* throughout a formula, which turns a database query into a pure
+  domain formula with one extra free variable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Mapping, Set
+
+from .analysis import all_variables, free_variables
+from .formulas import (
+    And,
+    Atom,
+    Bottom,
+    Equals,
+    Exists,
+    ForAll,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+)
+from .terms import Apply, Const, Term, Var
+
+__all__ = [
+    "substitute_term",
+    "substitute",
+    "substitute_constant",
+    "replace_constant_with_variable",
+    "fresh_variable",
+    "fresh_variables",
+    "rename_bound_variables",
+]
+
+
+def substitute_term(term: Term, mapping: Mapping[Var, Term]) -> Term:
+    """Apply a variable-to-term substitution inside a term."""
+    if isinstance(term, Var):
+        return mapping.get(term, term)
+    if isinstance(term, Const):
+        return term
+    if isinstance(term, Apply):
+        return Apply(term.function, tuple(substitute_term(a, mapping) for a in term.args))
+    raise TypeError(f"not a term: {term!r}")
+
+
+def fresh_variable(used: Iterable[Var], stem: str = "v") -> Var:
+    """A variable whose name does not clash with any variable in ``used``."""
+    used_names = {v.name for v in used}
+    if stem not in used_names:
+        return Var(stem)
+    for i in itertools.count():
+        candidate = f"{stem}_{i}"
+        if candidate not in used_names:
+            return Var(candidate)
+    raise AssertionError("unreachable")
+
+
+def fresh_variables(count: int, used: Iterable[Var], stem: str = "v") -> list:
+    """A list of ``count`` pairwise-distinct fresh variables."""
+    used_set: Set[Var] = set(used)
+    result = []
+    for _ in range(count):
+        v = fresh_variable(used_set, stem)
+        used_set.add(v)
+        result.append(v)
+    return result
+
+
+def substitute(formula: Formula, mapping: Mapping[Var, Term]) -> Formula:
+    """Capture-avoiding substitution of terms for free variables.
+
+    Bound variables that would capture a variable of a substituted term are
+    renamed to fresh names first.
+    """
+    if not mapping:
+        return formula
+    if isinstance(formula, Atom):
+        return Atom(formula.predicate, tuple(substitute_term(a, mapping) for a in formula.args))
+    if isinstance(formula, Equals):
+        return Equals(substitute_term(formula.left, mapping), substitute_term(formula.right, mapping))
+    if isinstance(formula, Not):
+        return Not(substitute(formula.body, mapping))
+    if isinstance(formula, And):
+        return And(tuple(substitute(c, mapping) for c in formula.conjuncts))
+    if isinstance(formula, Or):
+        return Or(tuple(substitute(d, mapping) for d in formula.disjuncts))
+    if isinstance(formula, Implies):
+        return Implies(substitute(formula.antecedent, mapping), substitute(formula.consequent, mapping))
+    if isinstance(formula, Iff):
+        return Iff(substitute(formula.left, mapping), substitute(formula.right, mapping))
+    if isinstance(formula, (Top, Bottom)):
+        return formula
+    if isinstance(formula, (Exists, ForAll)):
+        bound = Var(formula.var)
+        relevant = {v: t for v, t in mapping.items() if v != bound and v in free_variables(formula)}
+        if not relevant:
+            return formula
+        # Rename the bound variable if any substituted term mentions it.
+        from .terms import term_variables
+
+        captured = any(bound in term_variables(t) for t in relevant.values())
+        body = formula.body
+        if captured:
+            used = set(all_variables(formula))
+            for t in relevant.values():
+                used |= term_variables(t)
+            new_bound = fresh_variable(used, stem=formula.var)
+            body = substitute(body, {bound: new_bound})
+            bound = new_bound
+        new_body = substitute(body, relevant)
+        cls = Exists if isinstance(formula, Exists) else ForAll
+        return cls(bound.name, new_body)
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def _map_terms(formula: Formula, term_map) -> Formula:
+    """Apply a term-rewriting function to every term in ``formula``."""
+    if isinstance(formula, Atom):
+        return Atom(formula.predicate, tuple(term_map(a) for a in formula.args))
+    if isinstance(formula, Equals):
+        return Equals(term_map(formula.left), term_map(formula.right))
+    if isinstance(formula, Not):
+        return Not(_map_terms(formula.body, term_map))
+    if isinstance(formula, And):
+        return And(tuple(_map_terms(c, term_map) for c in formula.conjuncts))
+    if isinstance(formula, Or):
+        return Or(tuple(_map_terms(d, term_map) for d in formula.disjuncts))
+    if isinstance(formula, Implies):
+        return Implies(_map_terms(formula.antecedent, term_map), _map_terms(formula.consequent, term_map))
+    if isinstance(formula, Iff):
+        return Iff(_map_terms(formula.left, term_map), _map_terms(formula.right, term_map))
+    if isinstance(formula, Exists):
+        return Exists(formula.var, _map_terms(formula.body, term_map))
+    if isinstance(formula, ForAll):
+        return ForAll(formula.var, _map_terms(formula.body, term_map))
+    if isinstance(formula, (Top, Bottom)):
+        return formula
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def substitute_constant(formula: Formula, constant: Const, replacement: Term) -> Formula:
+    """Replace every occurrence of a constant by the given term."""
+
+    def rewrite(term: Term) -> Term:
+        if isinstance(term, Const):
+            return replacement if term == constant else term
+        if isinstance(term, Apply):
+            return Apply(term.function, tuple(rewrite(a) for a in term.args))
+        return term
+
+    return _map_terms(formula, rewrite)
+
+
+def replace_constant_with_variable(formula: Formula, constant: Const, variable: Var) -> Formula:
+    """The ``[z/c]`` operation of Theorem 3.1: substitute a variable for a constant.
+
+    The caller is responsible for choosing a variable that does not already
+    occur in the formula (the theorem's "without loss of generality" step);
+    a ``ValueError`` is raised otherwise.
+    """
+    if variable in all_variables(formula):
+        raise ValueError(
+            f"variable {variable} already occurs in the formula; choose a fresh one"
+        )
+    return substitute_constant(formula, constant, variable)
+
+
+def rename_bound_variables(formula: Formula, suffix: str = "_r") -> Formula:
+    """Rename every bound variable apart, producing a rectified formula.
+
+    After renaming, no variable is bound twice and no variable occurs both
+    free and bound, which several transformations (prenexing in particular)
+    rely on.
+    """
+    used: Set[Var] = set(all_variables(formula))
+    counter = itertools.count()
+
+    def rename(f: Formula, env: Dict[Var, Var]) -> Formula:
+        if isinstance(f, Atom):
+            return Atom(f.predicate, tuple(substitute_term(a, env) for a in f.args))
+        if isinstance(f, Equals):
+            return Equals(substitute_term(f.left, env), substitute_term(f.right, env))
+        if isinstance(f, Not):
+            return Not(rename(f.body, env))
+        if isinstance(f, And):
+            return And(tuple(rename(c, env) for c in f.conjuncts))
+        if isinstance(f, Or):
+            return Or(tuple(rename(d, env) for d in f.disjuncts))
+        if isinstance(f, Implies):
+            return Implies(rename(f.antecedent, env), rename(f.consequent, env))
+        if isinstance(f, Iff):
+            return Iff(rename(f.left, env), rename(f.right, env))
+        if isinstance(f, (Top, Bottom)):
+            return f
+        if isinstance(f, (Exists, ForAll)):
+            old = Var(f.var)
+            new = Var(f"{f.var}{suffix}{next(counter)}")
+            while new in used:
+                new = Var(f"{f.var}{suffix}{next(counter)}")
+            used.add(new)
+            new_env = dict(env)
+            new_env[old] = new
+            cls = Exists if isinstance(f, Exists) else ForAll
+            return cls(new.name, rename(f.body, new_env))
+        raise TypeError(f"not a formula: {f!r}")
+
+    return rename(formula, {})

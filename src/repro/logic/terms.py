@@ -1,0 +1,103 @@
+"""First-order terms.
+
+Terms are the building blocks of atoms: variables, constants (which carry a
+concrete domain value such as an ``int`` or ``str``), and applications of
+function symbols to argument terms.
+
+All term classes are immutable (frozen dataclasses), hashable and comparable,
+so they can be used as dictionary keys and set members throughout the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple, Union
+
+__all__ = [
+    "Term",
+    "Var",
+    "Const",
+    "Apply",
+    "is_ground",
+    "term_variables",
+    "term_constants",
+    "term_functions",
+    "term_size",
+    "walk_terms",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Var:
+    """A first-order variable, identified by its name."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, order=True)
+class Const:
+    """A constant symbol denoting a concrete domain element.
+
+    The ``value`` is the domain element itself (an ``int`` for numeric
+    domains, a ``str`` for word domains).  The paper assumes "constants for
+    all the elements of the domain", which this design realises directly.
+    """
+
+    value: Union[int, str]
+
+    def __str__(self) -> str:
+        return repr(self.value) if isinstance(self.value, str) else str(self.value)
+
+
+@dataclass(frozen=True)
+class Apply:
+    """Application of a function symbol to argument terms, e.g. ``succ(x)``."""
+
+    function: str
+    args: Tuple["Term", ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "args", tuple(self.args))
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.function}({inner})"
+
+
+Term = Union[Var, Const, Apply]
+
+
+def walk_terms(term: Term) -> Iterator[Term]:
+    """Yield ``term`` and all of its subterms, in pre-order."""
+    yield term
+    if isinstance(term, Apply):
+        for arg in term.args:
+            yield from walk_terms(arg)
+
+
+def term_variables(term: Term) -> frozenset:
+    """The set of variables occurring in ``term``."""
+    return frozenset(t for t in walk_terms(term) if isinstance(t, Var))
+
+
+def term_constants(term: Term) -> frozenset:
+    """The set of constants occurring in ``term``."""
+    return frozenset(t for t in walk_terms(term) if isinstance(t, Const))
+
+
+def term_functions(term: Term) -> frozenset:
+    """The set of function symbol names occurring in ``term``."""
+    return frozenset(t.function for t in walk_terms(term) if isinstance(t, Apply))
+
+
+def is_ground(term: Term) -> bool:
+    """True iff ``term`` contains no variables."""
+    return not term_variables(term)
+
+
+def term_size(term: Term) -> int:
+    """Number of nodes in the term tree."""
+    return sum(1 for _ in walk_terms(term))

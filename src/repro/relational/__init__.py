@@ -1,0 +1,46 @@
+"""Relational database substrate: schemas, states, algebra, calculus."""
+
+from .active_domain import (
+    active_domain,
+    active_domain_of_query,
+    active_domain_of_state,
+)
+from .algebra import (
+    BaseRelation,
+    Difference,
+    LiteralRelation,
+    NamedRelation,
+    NaturalJoin,
+    Product,
+    Projection,
+    Rename,
+    Selection,
+    Union,
+    evaluate_algebra,
+)
+from .calculus import (
+    Interpretation,
+    evaluate_formula,
+    evaluate_query,
+    evaluate_query_active_domain,
+    evaluate_term,
+)
+from .schema import DatabaseSchema, RelationSchema
+from .state import DatabaseState, Element, Relation, Row
+from .translate import (
+    database_predicates_in,
+    expand_database_atoms,
+    is_pure_domain_formula,
+)
+
+__all__ = [
+    "RelationSchema", "DatabaseSchema",
+    "Relation", "DatabaseState", "Element", "Row",
+    "BaseRelation", "LiteralRelation", "Selection", "Projection", "Product",
+    "NaturalJoin", "Union", "Difference", "Rename", "NamedRelation",
+    "evaluate_algebra",
+    "active_domain", "active_domain_of_state", "active_domain_of_query",
+    "expand_database_atoms", "is_pure_domain_formula", "database_predicates_in",
+    "Interpretation", "evaluate_term", "evaluate_formula", "evaluate_query",
+    "evaluate_query_active_domain",
+]

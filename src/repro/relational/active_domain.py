@@ -1,0 +1,41 @@
+"""Active domains.
+
+The *active domain* of a query in a database state is "the set of all
+constants used in the querying formula and/or elements contained in the
+database relations" (the paper, Section 1).  It is the yardstick for
+domain-independence and the universe over which active-domain semantics
+quantifies.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+from ..logic.analysis import constants_of
+from ..logic.formulas import Formula
+from .state import DatabaseState, Element
+
+__all__ = ["active_domain", "active_domain_of_state", "active_domain_of_query"]
+
+
+def active_domain_of_state(state: DatabaseState) -> FrozenSet[Element]:
+    """Elements stored in the database relations of ``state``."""
+    return state.elements()
+
+
+def active_domain_of_query(query: Formula) -> FrozenSet[Element]:
+    """Constants mentioned in the query formula."""
+    return frozenset(c.value for c in constants_of(query))
+
+
+def active_domain(
+    state: DatabaseState, query: Optional[Formula] = None
+) -> FrozenSet[Element]:
+    """The active domain of ``query`` in ``state``.
+
+    With ``query=None`` this is just the set of elements stored in the state.
+    """
+    result = active_domain_of_state(state)
+    if query is not None:
+        result |= active_domain_of_query(query)
+    return result

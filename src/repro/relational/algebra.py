@@ -1,0 +1,217 @@
+"""A small relational algebra engine.
+
+The paper's query language is the relational calculus, but the active-domain
+evaluator in :mod:`repro.relational.calculus` and several examples benefit
+from an explicit algebra: selection, projection, natural join, cartesian
+product, union, difference, and rename.  Expressions form an immutable tree
+that is evaluated against a :class:`~repro.relational.state.DatabaseState`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Sequence, Tuple
+
+from .state import DatabaseState, Element, Relation, Row
+
+__all__ = [
+    "AlgebraExpression",
+    "BaseRelation",
+    "LiteralRelation",
+    "Selection",
+    "Projection",
+    "Product",
+    "NaturalJoin",
+    "Union",
+    "Difference",
+    "Rename",
+    "evaluate_algebra",
+]
+
+
+@dataclass(frozen=True)
+class NamedRelation:
+    """A relation together with attribute names, the unit of algebra evaluation."""
+
+    attributes: Tuple[str, ...]
+    relation: Relation
+
+    def __post_init__(self) -> None:
+        if len(self.attributes) != self.relation.arity:
+            raise ValueError("attribute count does not match relation arity")
+
+    def rows_as_dicts(self):
+        """Iterate rows as attribute-name dictionaries."""
+        for row in self.relation:
+            yield dict(zip(self.attributes, row))
+
+
+@dataclass(frozen=True)
+class BaseRelation:
+    """Reference to a stored database relation by name."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class LiteralRelation:
+    """An inline constant relation."""
+
+    attributes: Tuple[str, ...]
+    rows: Tuple[Row, ...]
+
+
+@dataclass(frozen=True)
+class Selection:
+    """Filter rows by a predicate over the attribute dictionary."""
+
+    source: "AlgebraExpression"
+    predicate: Callable[[Dict[str, Element]], bool]
+
+
+@dataclass(frozen=True)
+class Projection:
+    """Keep only the named attributes, removing duplicates."""
+
+    source: "AlgebraExpression"
+    attributes: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Product:
+    """Cartesian product; attribute names must be disjoint."""
+
+    left: "AlgebraExpression"
+    right: "AlgebraExpression"
+
+
+@dataclass(frozen=True)
+class NaturalJoin:
+    """Natural join on shared attribute names."""
+
+    left: "AlgebraExpression"
+    right: "AlgebraExpression"
+
+
+@dataclass(frozen=True)
+class Union:
+    """Set union; attribute lists must agree."""
+
+    left: "AlgebraExpression"
+    right: "AlgebraExpression"
+
+
+@dataclass(frozen=True)
+class Difference:
+    """Set difference; attribute lists must agree."""
+
+    left: "AlgebraExpression"
+    right: "AlgebraExpression"
+
+
+@dataclass(frozen=True)
+class Rename:
+    """Rename attributes via an old-name → new-name mapping."""
+
+    source: "AlgebraExpression"
+    mapping: Tuple[Tuple[str, str], ...]
+
+
+AlgebraExpression = object  # union of the dataclasses above; kept loose for simplicity
+
+
+def evaluate_algebra(expression: AlgebraExpression, state: DatabaseState) -> NamedRelation:
+    """Evaluate a relational algebra expression against a database state."""
+    if isinstance(expression, BaseRelation):
+        schema = state.schema.relation(expression.name)
+        return NamedRelation(schema.attributes, state[expression.name])
+
+    if isinstance(expression, LiteralRelation):
+        return NamedRelation(
+            expression.attributes,
+            Relation(len(expression.attributes), expression.rows),
+        )
+
+    if isinstance(expression, Selection):
+        source = evaluate_algebra(expression.source, state)
+        kept = [
+            row
+            for row in source.relation
+            if expression.predicate(dict(zip(source.attributes, row)))
+        ]
+        return NamedRelation(source.attributes, Relation(source.relation.arity, kept))
+
+    if isinstance(expression, Projection):
+        source = evaluate_algebra(expression.source, state)
+        missing = [a for a in expression.attributes if a not in source.attributes]
+        if missing:
+            raise KeyError(f"projection attributes not present: {missing}")
+        indices = [source.attributes.index(a) for a in expression.attributes]
+        rows = {tuple(row[i] for i in indices) for row in source.relation}
+        return NamedRelation(
+            tuple(expression.attributes), Relation(len(indices), rows)
+        )
+
+    if isinstance(expression, Product):
+        left = evaluate_algebra(expression.left, state)
+        right = evaluate_algebra(expression.right, state)
+        overlap = set(left.attributes) & set(right.attributes)
+        if overlap:
+            raise ValueError(f"product requires disjoint attributes, shared: {overlap}")
+        rows = {
+            lrow + rrow for lrow in left.relation for rrow in right.relation
+        }
+        return NamedRelation(
+            left.attributes + right.attributes,
+            Relation(len(left.attributes) + len(right.attributes), rows),
+        )
+
+    if isinstance(expression, NaturalJoin):
+        left = evaluate_algebra(expression.left, state)
+        right = evaluate_algebra(expression.right, state)
+        shared = [a for a in left.attributes if a in right.attributes]
+        right_only = [a for a in right.attributes if a not in shared]
+        out_attrs = tuple(left.attributes) + tuple(right_only)
+        left_idx = {a: i for i, a in enumerate(left.attributes)}
+        right_idx = {a: i for i, a in enumerate(right.attributes)}
+        # Hash join on the shared attributes.
+        buckets: Dict[Tuple[Element, ...], list] = {}
+        for rrow in right.relation:
+            key = tuple(rrow[right_idx[a]] for a in shared)
+            buckets.setdefault(key, []).append(rrow)
+        rows = set()
+        for lrow in left.relation:
+            key = tuple(lrow[left_idx[a]] for a in shared)
+            for rrow in buckets.get(key, ()):
+                rows.add(lrow + tuple(rrow[right_idx[a]] for a in right_only))
+        return NamedRelation(out_attrs, Relation(len(out_attrs), rows))
+
+    if isinstance(expression, Union):
+        left = evaluate_algebra(expression.left, state)
+        right = evaluate_algebra(expression.right, state)
+        _check_compatible(left, right, "union")
+        return NamedRelation(left.attributes, left.relation.union(right.relation))
+
+    if isinstance(expression, Difference):
+        left = evaluate_algebra(expression.left, state)
+        right = evaluate_algebra(expression.right, state)
+        _check_compatible(left, right, "difference")
+        return NamedRelation(left.attributes, left.relation.difference(right.relation))
+
+    if isinstance(expression, Rename):
+        source = evaluate_algebra(expression.source, state)
+        mapping = dict(expression.mapping)
+        new_attrs = tuple(mapping.get(a, a) for a in source.attributes)
+        if len(set(new_attrs)) != len(new_attrs):
+            raise ValueError("rename produced duplicate attribute names")
+        return NamedRelation(new_attrs, source.relation)
+
+    raise TypeError(f"not a relational algebra expression: {expression!r}")
+
+
+def _check_compatible(left: NamedRelation, right: NamedRelation, op: str) -> None:
+    if left.attributes != right.attributes:
+        raise ValueError(
+            f"{op} requires identical attribute lists: "
+            f"{left.attributes} vs {right.attributes}"
+        )

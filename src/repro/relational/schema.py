@@ -1,0 +1,89 @@
+"""Database schemas in the sense of Codd's relational model.
+
+A *database scheme* fixes the relation names and their arities; the data
+stored under a scheme at a point in time is a *database state*
+(:mod:`repro.relational.state`).  The scheme never changes as data changes —
+exactly the father/son example of the paper's introduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Tuple
+
+__all__ = ["RelationSchema", "DatabaseSchema"]
+
+
+@dataclass(frozen=True, order=True)
+class RelationSchema:
+    """A relation name together with its arity and optional attribute names."""
+
+    name: str
+    arity: int
+    attributes: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.arity < 0:
+            raise ValueError("arity must be non-negative")
+        if self.attributes and len(self.attributes) != self.arity:
+            raise ValueError(
+                f"relation {self.name}: {len(self.attributes)} attribute names "
+                f"given for arity {self.arity}"
+            )
+        if not self.attributes:
+            object.__setattr__(
+                self, "attributes", tuple(f"a{i}" for i in range(self.arity))
+            )
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(self.attributes)})"
+
+
+@dataclass(frozen=True)
+class DatabaseSchema:
+    """A collection of relation schemas with distinct names."""
+
+    relations: Tuple[RelationSchema, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "relations", tuple(self.relations))
+        names = [r.name for r in self.relations]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate relation names in schema")
+
+    @classmethod
+    def of(cls, **arities: int) -> "DatabaseSchema":
+        """Build a schema from ``name=arity`` keyword arguments."""
+        return cls(tuple(RelationSchema(name, arity) for name, arity in arities.items()))
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """The relation names, in declaration order."""
+        return tuple(r.name for r in self.relations)
+
+    def __contains__(self, name: str) -> bool:
+        return any(r.name == name for r in self.relations)
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self.relations)
+
+    def __len__(self) -> int:
+        return len(self.relations)
+
+    def relation(self, name: str) -> RelationSchema:
+        """The schema of the relation called ``name``."""
+        for r in self.relations:
+            if r.name == name:
+                return r
+        raise KeyError(f"no relation named {name!r} in schema")
+
+    def arity(self, name: str) -> int:
+        """The arity of the relation called ``name``."""
+        return self.relation(name).arity
+
+    def extend(self, extra: Iterable[RelationSchema]) -> "DatabaseSchema":
+        """A new schema with additional relations appended."""
+        return DatabaseSchema(self.relations + tuple(extra))
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(str(r) for r in self.relations) + "}"

@@ -1,0 +1,165 @@
+"""Database states: finite relations stored under a database schema.
+
+"Database relations (tables) are always going to be finite" — the paper,
+Section 1.  A :class:`Relation` is an immutable finite set of tuples of domain
+elements; a :class:`DatabaseState` maps every relation name of a schema to a
+relation of the right arity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Sequence, Tuple, Union
+
+from .schema import DatabaseSchema, RelationSchema
+
+__all__ = ["Element", "Row", "Relation", "DatabaseState"]
+
+Element = Union[int, str]
+Row = Tuple[Element, ...]
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A finite relation: a set of equal-length tuples of domain elements."""
+
+    arity: int
+    rows: FrozenSet[Row]
+
+    def __init__(self, arity: int, rows: Iterable[Sequence[Element]] = ()):
+        object.__setattr__(self, "arity", arity)
+        normalised = frozenset(tuple(row) for row in rows)
+        for row in normalised:
+            if len(row) != arity:
+                raise ValueError(
+                    f"row {row!r} has {len(row)} columns, expected {arity}"
+                )
+        object.__setattr__(self, "rows", normalised)
+
+    @classmethod
+    def from_rows(cls, rows: Iterable[Sequence[Element]]) -> "Relation":
+        """Build a relation from a non-empty iterable of rows, inferring the arity."""
+        rows = [tuple(r) for r in rows]
+        if not rows:
+            raise ValueError("cannot infer arity from an empty set of rows; "
+                             "use Relation(arity, []) instead")
+        return cls(len(rows[0]), rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(sorted(self.rows))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __contains__(self, row: Sequence[Element]) -> bool:
+        return tuple(row) in self.rows
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def elements(self) -> FrozenSet[Element]:
+        """All domain elements appearing in some row of the relation."""
+        return frozenset(value for row in self.rows for value in row)
+
+    def union(self, other: "Relation") -> "Relation":
+        """Set union (arities must agree)."""
+        self._check_arity(other)
+        return Relation(self.arity, self.rows | other.rows)
+
+    def difference(self, other: "Relation") -> "Relation":
+        """Set difference (arities must agree)."""
+        self._check_arity(other)
+        return Relation(self.arity, self.rows - other.rows)
+
+    def intersection(self, other: "Relation") -> "Relation":
+        """Set intersection (arities must agree)."""
+        self._check_arity(other)
+        return Relation(self.arity, self.rows & other.rows)
+
+    def _check_arity(self, other: "Relation") -> None:
+        if self.arity != other.arity:
+            raise ValueError(
+                f"arity mismatch: {self.arity} vs {other.arity}"
+            )
+
+    def __str__(self) -> str:
+        rows = ", ".join(str(row) for row in sorted(self.rows))
+        return f"Relation[{self.arity}]{{{rows}}}"
+
+
+@dataclass(frozen=True)
+class DatabaseState:
+    """A database state: one finite relation per relation of the schema."""
+
+    schema: DatabaseSchema
+    relations: Mapping[str, Relation]
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        relations: Mapping[str, Union[Relation, Iterable[Sequence[Element]]]] = (),
+    ):
+        object.__setattr__(self, "schema", schema)
+        table: Dict[str, Relation] = {}
+        provided = dict(relations) if relations else {}
+        for rel_schema in schema:
+            value = provided.pop(rel_schema.name, None)
+            if value is None:
+                table[rel_schema.name] = Relation(rel_schema.arity, [])
+            elif isinstance(value, Relation):
+                if value.arity != rel_schema.arity:
+                    raise ValueError(
+                        f"relation {rel_schema.name}: arity {value.arity} does not "
+                        f"match schema arity {rel_schema.arity}"
+                    )
+                table[rel_schema.name] = value
+            else:
+                table[rel_schema.name] = Relation(rel_schema.arity, value)
+        if provided:
+            raise ValueError(f"relations not in schema: {sorted(provided)}")
+        object.__setattr__(self, "relations", dict(table))
+
+    def __getitem__(self, name: str) -> Relation:
+        if name not in self.relations:
+            raise KeyError(f"no relation named {name!r} in this state")
+        return self.relations[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def elements(self) -> FrozenSet[Element]:
+        """All domain elements stored anywhere in the state."""
+        result = frozenset()
+        for relation in self.relations.values():
+            result |= relation.elements()
+        return result
+
+    def with_relation(
+        self, name: str, rows: Union[Relation, Iterable[Sequence[Element]]]
+    ) -> "DatabaseState":
+        """A new state with one relation replaced."""
+        updated = dict(self.relations)
+        schema = self.schema.relation(name)
+        if isinstance(rows, Relation):
+            updated[name] = rows
+        else:
+            updated[name] = Relation(schema.arity, rows)
+        return DatabaseState(self.schema, updated)
+
+    def total_rows(self) -> int:
+        """Total number of rows stored across all relations."""
+        return sum(len(r) for r in self.relations.values())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DatabaseState):
+            return NotImplemented
+        return self.schema == other.schema and self.relations == other.relations
+
+    def __hash__(self) -> int:
+        return hash((self.schema, tuple(sorted(
+            (name, relation.rows) for name, relation in self.relations.items()
+        ))))
+
+    def __str__(self) -> str:
+        parts = [f"{name}: {relation}" for name, relation in sorted(self.relations.items())]
+        return "DatabaseState{" + "; ".join(parts) + "}"

@@ -1,0 +1,91 @@
+"""Translation of database queries into pure domain formulas.
+
+Section 1.1 of the paper describes the technique (attributed to [AGSS86,
+GSSS86]): because a database state is a finite collection of finite relations
+and the domain has constants for all of its elements, every occurrence of a
+database relation atom ``R(x, y)`` can be replaced by the finite disjunction
+
+    (x = a1 & y = b1) | (x = a2 & y = b2) | ... | (x = ar & y = br)
+
+over the rows ``(ai, bi)`` of ``R`` in the state.  The result is a *pure
+domain formula* — no database relation symbols left — which a domain decision
+procedure can then handle.
+"""
+
+from __future__ import annotations
+
+from ..logic.builders import conj, disj
+from ..logic.formulas import (
+    And,
+    Atom,
+    Bottom,
+    Equals,
+    Exists,
+    ForAll,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+)
+from ..logic.terms import Const
+from .schema import DatabaseSchema
+from .state import DatabaseState
+
+__all__ = ["expand_database_atoms", "is_pure_domain_formula", "database_predicates_in"]
+
+
+def database_predicates_in(formula: Formula, schema: DatabaseSchema) -> frozenset:
+    """Database relation symbols of ``schema`` that occur in ``formula``."""
+    from ..logic.analysis import predicates_of
+
+    return frozenset(p for p in predicates_of(formula) if p in schema)
+
+
+def is_pure_domain_formula(formula: Formula, schema: DatabaseSchema) -> bool:
+    """True iff ``formula`` uses no database relation symbol of ``schema``."""
+    return not database_predicates_in(formula, schema)
+
+
+def expand_database_atoms(formula: Formula, state: DatabaseState) -> Formula:
+    """Replace every database atom by the disjunction of its rows in ``state``.
+
+    Relation symbols that are not in the schema of ``state`` are treated as
+    domain predicates and left untouched.
+    """
+    schema = state.schema
+
+    def expand(f: Formula) -> Formula:
+        if isinstance(f, Atom):
+            if f.predicate not in schema:
+                return f
+            relation = state[f.predicate]
+            if not relation:
+                return Bottom()
+            disjuncts = []
+            for row in relation:
+                equalities = [
+                    Equals(arg, Const(value)) for arg, value in zip(f.args, row)
+                ]
+                disjuncts.append(conj(*equalities))
+            return disj(*disjuncts)
+        if isinstance(f, Equals) or isinstance(f, (Top, Bottom)):
+            return f
+        if isinstance(f, Not):
+            return Not(expand(f.body))
+        if isinstance(f, And):
+            return And(tuple(expand(c) for c in f.conjuncts))
+        if isinstance(f, Or):
+            return Or(tuple(expand(d) for d in f.disjuncts))
+        if isinstance(f, Implies):
+            return Implies(expand(f.antecedent), expand(f.consequent))
+        if isinstance(f, Iff):
+            return Iff(expand(f.left), expand(f.right))
+        if isinstance(f, Exists):
+            return Exists(f.var, expand(f.body))
+        if isinstance(f, ForAll):
+            return ForAll(f.var, expand(f.body))
+        raise TypeError(f"not a formula: {f!r}")
+
+    return expand(formula)

@@ -1,0 +1,77 @@
+"""Query classifications: finite (safe), infinite, domain-independent.
+
+A query is *finite* (the paper's "safe") iff it yields a finite answer in
+every database state; it is *domain-independent* iff its answer is always
+contained in the active domain.  Both properties are undecidable in general
+(the safety problem), which is why the library traffics in *verdicts* that
+carry the method used and, when possible, a certificate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Tuple
+
+__all__ = ["QueryClass", "SafetyVerdict", "FinitenessStatus"]
+
+
+class QueryClass(Enum):
+    """Semantic classes of queries studied in the paper."""
+
+    FINITE = "finite"
+    INFINITE = "infinite"
+    DOMAIN_INDEPENDENT = "domain-independent"
+
+
+class FinitenessStatus(Enum):
+    """Outcome of a finiteness check (three-valued: the problem is undecidable)."""
+
+    FINITE = "finite"
+    INFINITE = "infinite"
+    UNKNOWN = "unknown"
+
+    @property
+    def is_finite(self) -> Optional[bool]:
+        """``True``/``False`` when determined, ``None`` when unknown."""
+        if self is FinitenessStatus.FINITE:
+            return True
+        if self is FinitenessStatus.INFINITE:
+            return False
+        return None
+
+
+@dataclass(frozen=True)
+class SafetyVerdict:
+    """The result of a safety / relative-safety check.
+
+    ``status`` is the three-valued outcome; ``method`` names the procedure
+    that produced it (e.g. ``"finitization-equivalence"``); ``details`` is a
+    human-readable explanation, and ``witnesses`` optionally carries evidence
+    (e.g. a tuple outside the active domain satisfying the query).
+    """
+
+    status: FinitenessStatus
+    method: str
+    details: str = ""
+    witnesses: Tuple = ()
+
+    @classmethod
+    def finite(cls, method: str, details: str = "", witnesses: Tuple = ()) -> "SafetyVerdict":
+        """A verdict asserting the answer is finite."""
+        return cls(FinitenessStatus.FINITE, method, details, witnesses)
+
+    @classmethod
+    def infinite(cls, method: str, details: str = "", witnesses: Tuple = ()) -> "SafetyVerdict":
+        """A verdict asserting the answer is infinite."""
+        return cls(FinitenessStatus.INFINITE, method, details, witnesses)
+
+    @classmethod
+    def unknown(cls, method: str, details: str = "") -> "SafetyVerdict":
+        """A verdict reporting that the procedure could not determine finiteness."""
+        return cls(FinitenessStatus.UNKNOWN, method, details)
+
+    @property
+    def is_finite(self) -> Optional[bool]:
+        """``True``/``False`` when determined, ``None`` when unknown."""
+        return self.status.is_finite

@@ -1,0 +1,137 @@
+"""Domain independence, active-domain formulas, and the Fact 2.1 counterexample.
+
+A query is *domain-independent* iff its answer is always contained in the
+active domain of the query and the state.  Over the pure-equality domain the
+finite and domain-independent queries coincide; over ``(N, <)`` they do not:
+Fact 2.1 exhibits a finite query (the least element strictly greater than the
+whole active domain) that is not domain-independent.  This module provides
+
+* :func:`active_domain_formula` — the relational-calculus formula ``Δ(x)``
+  defining the active domain of a database schema (used both in Fact 2.1 and
+  in the active-domain effective syntax);
+* :func:`fact_2_1_query` — the Fact 2.1 formula itself;
+* :func:`check_domain_independence` — an empirical (sound-for-refutation)
+  domain-independence check used by the experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..logic.analysis import constants_of, free_variables
+from ..logic.builders import conj, disj, exists_many
+from ..logic.formulas import Atom, Equals, Exists, ForAll, Formula, Implies
+from ..logic.substitution import fresh_variables
+from ..logic.terms import Const, Var
+from ..relational.active_domain import active_domain
+from ..relational.calculus import evaluate_query
+from ..relational.schema import DatabaseSchema
+from ..relational.state import DatabaseState, Element, Relation
+from ..domains.base import Domain
+from .classes import SafetyVerdict
+
+__all__ = [
+    "active_domain_formula",
+    "fact_2_1_query",
+    "check_domain_independence",
+    "answer_over_universe",
+]
+
+
+def active_domain_formula(
+    schema: DatabaseSchema,
+    variable: Var,
+    query_constants: Iterable[Const] = (),
+) -> Formula:
+    """The formula ``Δ(x)`` defining the active domain.
+
+    ``x`` belongs to the active domain iff it equals one of the query
+    constants or occurs in some column of some database relation.
+    """
+    options = [Equals(variable, c) for c in sorted(set(query_constants), key=repr)]
+    for relation in schema:
+        if relation.arity == 0:
+            continue
+        used = [variable]
+        others = fresh_variables(relation.arity, used, stem="u")
+        for position in range(relation.arity):
+            args = list(others)
+            args[position] = variable
+            quantified = [v for i, v in enumerate(others) if i != position]
+            atom = Atom(relation.name, tuple(args))
+            options.append(exists_many([v.name for v in quantified], atom))
+    return disj(*options)
+
+
+def fact_2_1_query(schema: DatabaseSchema, variable: str = "x") -> Formula:
+    """The Fact 2.1 query: the least element greater than the whole active domain.
+
+    ``φ(x) := ∀y (Δ(y) → y < x)  ∧  ∀y (y < x → ∃z (Δ(z) ∧ y ≤ z))``
+
+    The answer always contains exactly one element, so the query is finite,
+    but the element lies outside the active domain, so the query is not
+    domain-independent — in any extension of ``(N, <)``.
+    """
+    x = Var(variable)
+    y = Var("y" if variable != "y" else "y0")
+    z = Var("z" if variable != "z" else "z0")
+    delta_y = active_domain_formula(schema, y)
+    delta_z = active_domain_formula(schema, z)
+    above_all = ForAll(y.name, Implies(delta_y, Atom("<", (y, x))))
+    minimal = ForAll(
+        y.name,
+        Implies(
+            Atom("<", (y, x)),
+            Exists(z.name, conj(delta_z, Atom("<=", (y, z)))),
+        ),
+    )
+    return conj(above_all, minimal)
+
+
+def answer_over_universe(
+    query: Formula,
+    state: DatabaseState,
+    domain: Domain,
+    universe: Sequence[Element],
+) -> Relation:
+    """Evaluate ``query`` with quantifiers and answers restricted to ``universe``."""
+    return evaluate_query(query, universe, state=state, interpretation=domain)
+
+
+def check_domain_independence(
+    query: Formula,
+    state: DatabaseState,
+    domain: Domain,
+    extra_elements: Sequence[Element],
+) -> SafetyVerdict:
+    """Empirically check domain independence of ``query`` in ``state``.
+
+    The answer over the active domain is compared with the answer over the
+    active domain enlarged by ``extra_elements``.  If they differ, the query
+    is certainly not domain-independent (the verdict carries a witness tuple);
+    if they agree, the check is inconclusive in general and the verdict says
+    so.
+    """
+    base_universe = sorted(active_domain(state, query), key=repr)
+    enlarged = list(base_universe) + [e for e in extra_elements if e not in base_universe]
+    base_answer = answer_over_universe(query, state, domain, base_universe)
+    enlarged_answer = answer_over_universe(query, state, domain, enlarged)
+    difference = enlarged_answer.rows - base_answer.rows
+    escaped = {
+        row
+        for row in enlarged_answer.rows
+        if any(value not in base_universe for value in row)
+    }
+    if difference or escaped:
+        witnesses = tuple(sorted(difference | escaped))
+        return SafetyVerdict.infinite(
+            method="active-domain-comparison",
+            details="the answer changes (or escapes the active domain) when the "
+            "universe is enlarged, so the query is not domain-independent",
+            witnesses=witnesses,
+        )
+    return SafetyVerdict.unknown(
+        method="active-domain-comparison",
+        details="no difference observed on the sampled universe; "
+        "domain independence is not refuted",
+    )

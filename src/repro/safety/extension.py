@@ -1,0 +1,111 @@
+"""Corollary 2.4: every domain extends to one with an effective syntax.
+
+"For any domain D there exists its extension D' with a recursive syntax for
+finite queries.  If D is recursive, a recursive D' can be chosen."  The hint
+is to take D' to be a common extension of D and ``(N, <)``: keep the carrier
+and all symbols of D, and add a discrete linear order of type ω.  For a
+recursive domain with a computable enumeration of its carrier the induced
+order ("earlier in the enumeration") is itself recursive, so D' is recursive,
+and the finitization syntax of Theorem 2.2 (stated for the new order) is an
+effective syntax for the finite queries of D'.
+
+Corollary 3.2 is the sting in the tail: for the trace domain **T** every such
+extension has an *undecidable* theory, so the effective syntax exists only at
+the price of losing effective query answering.  :class:`OrderedExtensionDomain`
+therefore reports ``has_decidable_theory = False`` unless the base domain
+explicitly certifies that adding the enumeration order keeps its theory
+decidable (as is the case for ``(N, <)`` itself).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, Optional, Sequence
+
+from ..domains.base import Domain, TheoryUndecidableError
+from ..domains.signature import Signature
+from ..logic.formulas import Formula
+from ..relational.state import Element
+from .effective_syntax import FinitizationSyntax
+
+__all__ = ["OrderedExtensionDomain", "extension_with_effective_syntax"]
+
+
+class OrderedExtensionDomain(Domain):
+    """The base domain extended with the enumeration order ``<`` (Corollary 2.4).
+
+    The carrier and every symbol of the base domain are preserved; the new
+    binary predicate ``<`` compares positions in the base domain's element
+    enumeration, which is recursive whenever the base domain is.  The
+    finitization operator with respect to this order yields a recursive
+    syntax for finite queries of the extension.
+    """
+
+    def __init__(self, base: Domain, index_cache_limit: int = 100_000):
+        self._base = base
+        self.name = f"{base.name}+order"
+        self.signature = base.signature.merge(
+            Signature(predicates={"<": 2, "<=": 2}, functions={})
+        )
+        self._index_cache: Dict[Element, int] = {}
+        self._enumerated = base.enumerate_elements()
+        self._cache_limit = index_cache_limit
+        # The extension is recursive, but its theory is in general *not*
+        # decidable (Corollary 3.2 shows it cannot be for the trace domain).
+        self.has_decidable_theory = False
+
+    @property
+    def base(self) -> Domain:
+        """The domain being extended."""
+        return self._base
+
+    # -- carrier -------------------------------------------------------------
+
+    def contains(self, element: Element) -> bool:
+        return self._base.contains(element)
+
+    def enumerate_elements(self) -> Iterator[Element]:
+        return self._base.enumerate_elements()
+
+    # -- the enumeration order ------------------------------------------------
+
+    def index_of(self, element: Element) -> int:
+        """The position of ``element`` in the base domain's enumeration."""
+        if element in self._index_cache:
+            return self._index_cache[element]
+        for index, candidate in zip(itertools.count(len(self._index_cache)), self._enumerated):
+            self._index_cache[candidate] = index
+            if candidate == element:
+                return index
+            if index > self._cache_limit:
+                break
+        raise ValueError(
+            f"element {element!r} not found within the first {self._cache_limit} "
+            "elements of the enumeration"
+        )
+
+    # -- evaluation ----------------------------------------------------------
+
+    def eval_function(self, name: str, args: Sequence[Element]) -> Element:
+        return self._base.eval_function(name, args)
+
+    def eval_predicate(self, name: str, args: Sequence[Element]) -> bool:
+        if name == "<":
+            return self.index_of(args[0]) < self.index_of(args[1])
+        if name == "<=":
+            return self.index_of(args[0]) <= self.index_of(args[1])
+        return self._base.eval_predicate(name, args)
+
+    # -- decidability ----------------------------------------------------------
+
+    def decide(self, sentence: Formula) -> bool:
+        raise TheoryUndecidableError(
+            f"the ordered extension of {self._base.name!r} does not ship a decision "
+            "procedure; Corollary 3.2 shows that for the trace domain none can exist"
+        )
+
+
+def extension_with_effective_syntax(base: Domain):
+    """Corollary 2.4 packaged: the extension together with its finitization syntax."""
+    extension = OrderedExtensionDomain(base)
+    return extension, FinitizationSyntax()

@@ -1,0 +1,99 @@
+"""The finitization operator of Theorem 2.2.
+
+For a formula ``φ(x1, ..., xk)`` over (an extension of) the ordered natural
+numbers, its *finitization* is
+
+    φ^F(x1, ..., xk)  :=  φ(x1, ..., xk)
+                          ∧ ∃m ∀x1 ... ∀xk ( φ(x1, ..., xk) → ⋀_i xi < m )
+
+The second conjunct states that some element exceeds every tuple in the
+answer, hence:
+
+* ``φ^F`` is always finite, and
+* if ``φ`` is finite then ``φ^F`` is equivalent to ``φ``.
+
+Consequently the set of finitizations of all formulas is a recursive syntax
+for the finite queries (Theorem 2.2); the same trick works for Presburger
+arithmetic and for full arithmetic (Corollary 2.3), and a minor modification
+(bounding from below as well) handles the integers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..logic.analysis import all_variables, free_variables
+from ..logic.builders import conj
+from ..logic.formulas import And, Atom, Exists, ForAll, Formula, Implies
+from ..logic.substitution import fresh_variable
+from ..logic.terms import Var
+
+__all__ = ["finitize", "finitization_bound_part", "is_finitization_of", "split_finitization"]
+
+
+def _ordered_free_variables(formula: Formula, order: Optional[Sequence[Var]] = None):
+    if order is not None:
+        return list(order)
+    return sorted(free_variables(formula), key=lambda v: v.name)
+
+
+def finitization_bound_part(
+    formula: Formula,
+    free_order: Optional[Sequence[Var]] = None,
+    integers: bool = False,
+) -> Formula:
+    """The sentence ``∃m ∀x̄ (φ → ⋀ xi < m)`` (plus a lower bound for integers)."""
+    variables = _ordered_free_variables(formula, free_order)
+    used = set(all_variables(formula)) | set(variables)
+    upper = fresh_variable(used, stem="m")
+    used.add(upper)
+    bounds = [Atom("<", (v, upper)) for v in variables]
+    quantified_vars = list(variables)
+    if integers:
+        lower = fresh_variable(used, stem="l")
+        bounds = [
+            conj(Atom("<", (lower, v)), Atom("<", (v, upper))) for v in variables
+        ]
+        inner: Formula = Implies(formula, conj(*bounds))
+        for v in reversed(quantified_vars):
+            inner = ForAll(v.name, inner)
+        return Exists(lower.name, Exists(upper.name, inner))
+    inner = Implies(formula, conj(*bounds))
+    for v in reversed(quantified_vars):
+        inner = ForAll(v.name, inner)
+    return Exists(upper.name, inner)
+
+
+def finitize(
+    formula: Formula,
+    free_order: Optional[Sequence[Var]] = None,
+    integers: bool = False,
+) -> Formula:
+    """The finitization ``φ^F`` of Theorem 2.2.
+
+    The result is literally the two-conjunct formula of the paper, built with
+    a plain :class:`~repro.logic.formulas.And` node (not flattened), so that
+    :func:`split_finitization` can recover the original formula and the
+    finitization syntax is recursively recognisable.
+    """
+    bound_part = finitization_bound_part(formula, free_order, integers)
+    return And((formula, bound_part))
+
+
+def split_finitization(formula: Formula) -> Optional[Formula]:
+    """If ``formula`` is syntactically a finitization ``φ^F``, return ``φ``.
+
+    Returns ``None`` when the formula does not have the finitization shape.
+    """
+    if not isinstance(formula, And) or len(formula.conjuncts) != 2:
+        return None
+    core, bound = formula.conjuncts
+    for integers in (False, True):
+        if bound == finitization_bound_part(core, integers=integers):
+            return core
+    return None
+
+
+def is_finitization_of(candidate: Formula, original: Formula, integers: bool = False) -> bool:
+    """True iff ``candidate`` is exactly the finitization of ``original``."""
+    return candidate == finitize(original, integers=integers)

@@ -1,0 +1,305 @@
+"""The negative results of Section 3, as executable reductions.
+
+* **Theorem 3.1 / Corollary 3.2** (no effective syntax over **T**): given a
+  machine ``M``, the query ``M(x) ≡ P(M, c, x)`` is finite iff ``M`` is total.
+  If a recursive (or r.e.) syntax for finite queries existed, then by deciding
+  the pure-domain sentences
+
+      ∀z ∀x ( M_k(x)[z/c]  ↔  φ_r(x)[z/c] )
+
+  for all pairs of machines ``M_k`` and syntax members ``φ_r`` — possible
+  because the theory of traces is decidable — one could recursively enumerate
+  exactly the total Turing machines, which is impossible.
+  :class:`TotalityEnumerator` implements that procedure literally, so that the
+  experiment suite can run it on finite corpora and observe both directions of
+  the biconditional.
+
+* **Theorem 3.3** (relative safety over **T** undecidable): the query
+  ``M(x)`` is finite in the state ``c := w`` iff ``M`` halts on ``w``.
+  :func:`halting_reduction` produces the (query, state) instance;
+  :func:`extract_halting_instance` inverts it (used by the trace-domain
+  relative-safety decider).
+
+The database-scheme technicality of the paper ("a constant is formally not a
+database scheme") is handled the same way: the canonical encoding uses a
+unary relation ``R`` constrained to be a singleton.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..domains.base import Domain
+from ..domains.reach_traces import ReachTracesDomain
+from ..logic.analysis import constants_of, free_variables
+from ..logic.builders import conj, exists, forall, forall_many, iff, implies
+from ..logic.formulas import Atom, Equals, Exists, ForAll, Formula, Implies, Not
+from ..logic.substitution import replace_constant_with_variable, substitute
+from ..logic.terms import Const, Var
+from ..relational.schema import DatabaseSchema, RelationSchema
+from ..relational.state import DatabaseState
+from ..turing.encoding import decode_machine, encode_machine
+from ..turing.machine import TuringMachine, run_machine
+from ..turing.traces import trace_count, traces_of
+from ..turing.words import is_input_word, is_machine_word
+
+__all__ = [
+    "REDUCTION_SCHEMA",
+    "RELATION_NAME",
+    "CONSTANT_PLACEHOLDER",
+    "totality_query",
+    "totality_query_with_relation",
+    "totality_equivalence_sentence",
+    "halting_reduction",
+    "extract_halting_instance",
+    "machine_is_total_on_sample",
+    "machine_halts_within",
+    "query_answer_when_finite",
+    "TotalityEnumerator",
+    "fresh_total_machine_not_in",
+]
+
+#: The one-relation database scheme used by the reductions: a unary relation
+#: ``R`` that the queries constrain to be a singleton holding the input word.
+RELATION_NAME = "R"
+REDUCTION_SCHEMA = DatabaseSchema((RelationSchema(RELATION_NAME, 1),))
+
+#: The distinguished constant symbol ``c`` of Theorem 3.1 is modelled as a
+#: string constant with this placeholder value; ``[z/c]`` replaces it by a
+#: variable via :func:`repro.logic.substitution.replace_constant_with_variable`.
+CONSTANT_PLACEHOLDER = "__c__"
+
+
+def totality_query(machine: Union[TuringMachine, str], constant: str = CONSTANT_PLACEHOLDER) -> Formula:
+    """The query ``M(x) := P(M, c, x)`` of Theorem 3.1 (constant-symbol form).
+
+    ``M(x)`` is finite iff the machine is total: for a total machine every
+    input yields finitely many traces; for a non-total machine some input
+    yields infinitely many.
+    """
+    machine_word = machine if isinstance(machine, str) else encode_machine(machine)
+    if not is_machine_word(machine_word):
+        raise ValueError(f"not a machine word: {machine_word!r}")
+    return Atom("P", (Const(machine_word), Const(constant), Var("x")))
+
+
+def totality_query_with_relation(machine: Union[TuringMachine, str]) -> Formula:
+    """The database-scheme form of ``M(x)`` using the unary relation ``R``.
+
+    ``M(x) := ∀y∀z (R(y) ∧ R(z) → y = z)  ∧  ∃y (R(y) ∧ P(M, y, x))``
+    """
+    machine_word = machine if isinstance(machine, str) else encode_machine(machine)
+    functional = forall(
+        "y",
+        forall(
+            "z",
+            implies(
+                conj(Atom(RELATION_NAME, (Var("y"),)), Atom(RELATION_NAME, (Var("z"),))),
+                Equals(Var("y"), Var("z")),
+            ),
+        ),
+    )
+    member = exists(
+        "y",
+        conj(
+            Atom(RELATION_NAME, (Var("y"),)),
+            Atom("P", (Const(machine_word), Var("y"), Var("x"))),
+        ),
+    )
+    return conj(functional, member)
+
+
+def totality_equivalence_sentence(
+    machine: Union[TuringMachine, str],
+    candidate: Formula,
+    constant: str = CONSTANT_PLACEHOLDER,
+    variable: str = "z",
+) -> Formula:
+    """The Theorem 3.1 sentence ``∀z ∀x ( M_k(x)[z/c] ↔ φ_r(x)[z/c] )``.
+
+    ``candidate`` is a purported finite query with one free variable ``x``
+    that may mention the constant ``c`` (the placeholder constant); both
+    queries have the constant replaced by the fresh variable ``z`` and the
+    equivalence is universally closed.  The result is a *pure domain sentence*
+    of the theory of traces, so it can be handed to the decision procedure.
+    """
+    query = totality_query(machine, constant=constant)
+    z = Var(variable)
+    query_z = replace_constant_with_variable(query, Const(constant), z)
+    if Const(constant) in constants_of(candidate):
+        candidate_z = replace_constant_with_variable(candidate, Const(constant), z)
+    else:
+        candidate_z = candidate
+    body = iff(query_z, candidate_z)
+    free = sorted(free_variables(body), key=lambda v: v.name)
+    return forall_many([v.name for v in free], body)
+
+
+# ---------------------------------------------------------------------------
+# Theorem 3.3: halting  <->  relative safety
+# ---------------------------------------------------------------------------
+
+
+def halting_reduction(
+    machine: Union[TuringMachine, str], input_word: str
+) -> Tuple[Formula, DatabaseState]:
+    """Map a halting instance ``(M, w)`` to a relative-safety instance.
+
+    Returns the query ``M(x)`` (relation form) and the database state in which
+    ``R = {w}``; the query is finite in that state iff ``M`` halts on ``w``
+    (Theorem 3.3).
+    """
+    machine_word = machine if isinstance(machine, str) else encode_machine(machine)
+    if not is_input_word(input_word):
+        raise ValueError(f"not an input word: {input_word!r}")
+    query = totality_query_with_relation(machine_word)
+    state = DatabaseState(REDUCTION_SCHEMA, {RELATION_NAME: [(input_word,)]})
+    return query, state
+
+
+def extract_halting_instance(query: Formula, state: DatabaseState) -> Tuple[str, str]:
+    """Invert :func:`halting_reduction`: recover ``(machine word, input word)``.
+
+    Accepts both the relation form and the constant form of the query.  Raises
+    ``ValueError`` if the query does not have the reduction shape.
+    """
+    machine_word: Optional[str] = None
+    for constant in constants_of(query):
+        value = constant.value
+        if isinstance(value, str) and is_machine_word(value):
+            machine_word = value
+            break
+    if machine_word is None:
+        raise ValueError("the query does not mention a machine word constant")
+
+    if RELATION_NAME in state.schema:
+        rows = list(state[RELATION_NAME])
+        if len(rows) != 1:
+            raise ValueError("the reduction state must hold exactly one input word")
+        input_word = str(rows[0][0])
+    else:
+        word_constants = [
+            str(c.value)
+            for c in constants_of(query)
+            if isinstance(c.value, str) and is_input_word(str(c.value))
+        ]
+        if len(word_constants) != 1:
+            raise ValueError("cannot determine the input word from the query")
+        input_word = word_constants[0]
+    if not is_input_word(input_word):
+        raise ValueError(f"not an input word: {input_word!r}")
+    return machine_word, input_word
+
+
+def machine_halts_within(machine: Union[TuringMachine, str], input_word: str, fuel: int) -> Optional[bool]:
+    """``True`` if the machine halts on ``input_word`` within ``fuel`` steps, else ``None``.
+
+    (A ``False`` answer is never returned: halting is only semi-decidable.)
+    """
+    decoded = decode_machine(machine) if isinstance(machine, str) else machine
+    result = run_machine(decoded, input_word, fuel)
+    return True if result.halted else None
+
+
+def machine_is_total_on_sample(
+    machine: Union[TuringMachine, str], inputs: Iterable[str], fuel: int
+) -> Optional[bool]:
+    """Check totality on a finite sample of inputs.
+
+    Returns ``False`` as soon as some sampled input exceeds the fuel (evidence
+    of probable divergence — in our curated corpora this is exact), ``True``
+    if every sampled input halts, and never claims more than the sample shows.
+    """
+    decoded = decode_machine(machine) if isinstance(machine, str) else machine
+    for word in inputs:
+        result = run_machine(decoded, word, fuel)
+        if not result.halted:
+            return False
+    return True
+
+
+def query_answer_when_finite(
+    machine: Union[TuringMachine, str], input_word: str, fuel: int
+) -> Optional[List[str]]:
+    """The full (finite) answer to ``M(x)`` in state ``c := w``, if determinable.
+
+    Returns the list of traces if the machine halts within ``fuel`` steps, and
+    ``None`` otherwise (the answer may be infinite).
+    """
+    machine_word = machine if isinstance(machine, str) else encode_machine(machine)
+    count = trace_count(machine_word, input_word, fuel)
+    if count is None:
+        return None
+    return list(traces_of(machine_word, input_word, count))
+
+
+# ---------------------------------------------------------------------------
+# Theorem 3.1: the totality enumerator
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TotalityCertificate:
+    """A pair certified by the Theorem 3.1 procedure: the machine is total."""
+
+    machine_word: str
+    candidate: Formula
+    sentence: Formula
+
+
+class TotalityEnumerator:
+    """The recursive enumeration of total machines extracted from a claimed syntax.
+
+    Given an enumeration ``φ_1, φ_2, ...`` of a purported effective syntax for
+    finite queries and an enumeration ``M_1, M_2, ...`` of all Turing
+    machines, the paper's procedure checks, for every pair ``(k, r)``, the
+    sentence ``∀z∀x(M_k(x)[z/c] ↔ φ_r(x)[z/c])`` with the decision procedure
+    of the theory of traces.  Every certified machine is total; and if the
+    syntax really contained (up to equivalence) all finite one-variable
+    queries, every total machine would eventually be certified — contradicting
+    the classical fact that the total machines are not recursively enumerable.
+    """
+
+    def __init__(self, domain: Optional[Domain] = None):
+        self._domain = domain or ReachTracesDomain()
+
+    def certify_pair(
+        self, machine: Union[TuringMachine, str], candidate: Formula
+    ) -> Optional[TotalityCertificate]:
+        """Check one (machine, candidate) pair; return a certificate if it verifies."""
+        machine_word = machine if isinstance(machine, str) else encode_machine(machine)
+        sentence = totality_equivalence_sentence(machine_word, candidate)
+        if self._domain.decide(sentence):
+            return TotalityCertificate(machine_word, candidate, sentence)
+        return None
+
+    def enumerate_certified(
+        self,
+        machines: Sequence[Union[TuringMachine, str]],
+        candidates: Sequence[Formula],
+    ) -> Iterator[TotalityCertificate]:
+        """Dovetail over all (machine, candidate) pairs, yielding certificates."""
+        for machine, candidate in itertools.product(machines, candidates):
+            certificate = self.certify_pair(machine, candidate)
+            if certificate is not None:
+                yield certificate
+
+
+def fresh_total_machine_not_in(machine_words: Iterable[str]) -> TuringMachine:
+    """A total machine whose canonical encoding differs from every given word.
+
+    This is the finite-list face of the diagonal argument: any finite (or
+    effectively given) list of machines omits some total machine.  We simply
+    take "write ``n`` marks and halt" machines for growing ``n`` until the
+    encoding is new; all of them are total.
+    """
+    from ..turing.builders import unary_writer
+
+    excluded = set(machine_words)
+    for n in itertools.count():
+        machine = unary_writer(n)
+        if encode_machine(machine) not in excluded:
+            return machine
+    raise AssertionError("unreachable")

@@ -1,0 +1,371 @@
+"""Relative safety: is a query finite in a *given* database state?
+
+The paper's results, in implementation form:
+
+* pure-equality domain (Section 2): decidable — fix one fresh element outside
+  the active domain and check whether any tuple involving it satisfies the
+  query (:class:`EqualityRelativeSafety`);
+* decidable extensions of ``(N, <)`` (Theorem 2.5): decidable — in a fixed
+  state the query is finite iff it is equivalent to its finitization, and the
+  equivalence is a pure domain sentence that the domain's decision procedure
+  settles (:class:`OrderedRelativeSafety`);
+* ``(N, ')`` (Theorem 2.6): decidable — eliminate quantifiers, then analyse
+  the resulting quantifier-free formula clause by clause: a clause with a
+  satisfiable constraint system whose variables are not all anchored to
+  constants has infinitely many solutions (:class:`SuccessorRelativeSafety`);
+* the trace domain **T** (Theorem 3.3): *undecidable* — the query
+  ``P(M, c, x)`` is finite in state ``c := w`` iff machine ``M`` halts on
+  ``w``.  :class:`TraceRelativeSafety` therefore only offers a fuel-bounded
+  semi-decision procedure and an oracle-parameterised decision procedure; the
+  reduction itself lives in :mod:`repro.safety.reductions`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..domains.base import Domain
+from ..domains.presburger import PresburgerDomain
+from ..domains.successor import SuccessorDomain, eliminate_successor_quantifiers, parse_successor_term
+from ..logic.analysis import free_variables, quantifier_depth
+from ..logic.builders import conj, forall_many, iff
+from ..logic.formulas import And, Atom, Bottom, Equals, Formula, Not, Or, Top
+from ..logic.terms import Const, Var
+from ..relational.active_domain import active_domain
+from ..relational.calculus import evaluate_query
+from ..relational.state import DatabaseState
+from ..relational.translate import expand_database_atoms
+from ..turing.machine import run_machine
+from ..turing.encoding import decode_machine
+from .classes import SafetyVerdict
+from .finitization import finitize
+
+__all__ = [
+    "RelativeSafetyDecider",
+    "EqualityRelativeSafety",
+    "OrderedRelativeSafety",
+    "SuccessorRelativeSafety",
+    "TraceRelativeSafety",
+    "RelativeSafetyUndecidable",
+]
+
+
+class RelativeSafetyUndecidable(RuntimeError):
+    """Raised when a decider is asked to solve an instance it provably cannot."""
+
+
+class RelativeSafetyDecider(ABC):
+    """Decide (or semi-decide) finiteness of a query in a given state."""
+
+    name: str = "relative-safety"
+
+    @abstractmethod
+    def decide(self, query: Formula, state: DatabaseState) -> SafetyVerdict:
+        """Return a verdict on the finiteness of ``query`` in ``state``."""
+
+
+class EqualityRelativeSafety(RelativeSafetyDecider):
+    """Relative safety over the pure-equality domain (Section 2).
+
+    A query is finite in a state iff no tuple containing an element outside
+    the active domain satisfies it; by the symmetry of the domain it suffices
+    to test tuples built from the active domain plus a single fresh element.
+    """
+
+    name = "equality-fresh-element"
+
+    def __init__(self, domain):
+        self._domain = domain
+
+    def decide(self, query: Formula, state: DatabaseState) -> SafetyVerdict:
+        base = sorted(active_domain(state, query), key=repr)
+        rank = quantifier_depth(query)
+        fresh = self._domain.fresh_elements(rank + 1, avoid=base)
+        if not fresh:
+            raise RuntimeError("the carrier is too small to supply fresh elements")
+        probe = fresh[0]
+        universe = list(base) + fresh
+        answer = evaluate_query(query, universe, state=state, interpretation=self._domain)
+        escaping = [row for row in answer.rows if probe in row]
+        if escaping:
+            return SafetyVerdict.infinite(
+                method=self.name,
+                details="a tuple containing a fresh element satisfies the query; "
+                "by symmetry infinitely many do",
+                witnesses=tuple(sorted(escaping)),
+            )
+        return SafetyVerdict.finite(
+            method=self.name,
+            details="no tuple containing a fresh element satisfies the query",
+        )
+
+
+class OrderedRelativeSafety(RelativeSafetyDecider):
+    """Theorem 2.5: relative safety for decidable extensions of ``(N, <)``.
+
+    In a fixed state the query is translated into a pure domain formula
+    ``φ'``; it yields a finite answer iff ``φ'`` is equivalent to its
+    finitization, a sentence the domain's decision procedure settles.
+    """
+
+    name = "finitization-equivalence"
+
+    def __init__(self, domain: Optional[Domain] = None):
+        self._domain = domain or PresburgerDomain()
+        if not self._domain.has_decidable_theory:
+            raise ValueError("Theorem 2.5 requires a decidable extension of (N, <)")
+
+    def decide(self, query: Formula, state: DatabaseState) -> SafetyVerdict:
+        pure = expand_database_atoms(query, state)
+        # The answer columns are the free variables of the *query*; expanding the
+        # database atoms may make some of them vanish syntactically (e.g. when a
+        # stored relation is empty), but they still index the answer.
+        variables = sorted(free_variables(query), key=lambda v: v.name)
+        equivalence = forall_many(
+            [v.name for v in variables], iff(pure, finitize(pure, free_order=variables))
+        )
+        finite = self._domain.decide(equivalence)
+        if finite:
+            return SafetyVerdict.finite(
+                method=self.name,
+                details="the query is equivalent to its finitization in this state",
+            )
+        return SafetyVerdict.infinite(
+            method=self.name,
+            details="the query differs from its finitization in this state, "
+            "so its answer is unbounded",
+        )
+
+
+@dataclass
+class _OffsetUnionFind:
+    """Union-find over variables with integer offsets: ``x = y + offset``."""
+
+    parent: Dict[str, str]
+    offset: Dict[str, int]  # value(x) = value(find(x)) + offset[x]
+    anchor: Dict[str, Optional[int]]  # concrete value of a root, if known
+
+    @classmethod
+    def empty(cls) -> "_OffsetUnionFind":
+        return cls({}, {}, {})
+
+    def add(self, item: str) -> None:
+        if item not in self.parent:
+            self.parent[item] = item
+            self.offset[item] = 0
+            self.anchor[item] = None
+
+    def find(self, item: str) -> Tuple[str, int]:
+        self.add(item)
+        if self.parent[item] == item:
+            return item, 0
+        root, above = self.find(self.parent[item])
+        self.parent[item] = root
+        self.offset[item] += above
+        return root, self.offset[item]
+
+    def union(self, left: str, right: str, delta: int) -> bool:
+        """Record ``value(left) = value(right) + delta``; False on contradiction."""
+        lroot, loff = self.find(left)
+        rroot, roff = self.find(right)
+        if lroot == rroot:
+            return loff == roff + delta
+        # value(lroot) = value(rroot) + (roff + delta - loff)
+        self.parent[lroot] = rroot
+        self.offset[lroot] = roff + delta - loff
+        left_anchor = self.anchor.pop(lroot)
+        if left_anchor is not None:
+            return self.anchor_value(lroot, left_anchor)
+        return True
+
+    def anchor_value(self, item: str, value: int) -> bool:
+        """Record ``value(item) = value``; False on contradiction or negativity."""
+        root, off = self.find(item)
+        root_value = value - off
+        if root_value < 0:
+            return False
+        existing = self.anchor.get(root)
+        if existing is None:
+            self.anchor[root] = root_value
+            return True
+        return existing == root_value
+
+    def value_of(self, item: str) -> Optional[int]:
+        root, off = self.find(item)
+        base = self.anchor.get(root)
+        if base is None:
+            return None
+        return base + off
+
+
+class SuccessorRelativeSafety(RelativeSafetyDecider):
+    """Theorem 2.6: relative safety for ``(N, ')``.
+
+    The query (with the state folded in) is reduced to a quantifier-free
+    formula by the Section 2.2 elimination; a clause of its DNF contributes an
+    infinite set of solutions iff its positive equalities are consistent, its
+    negative literals are satisfiable, and some free variable is not anchored
+    (through positive equalities) to a concrete natural number.
+    """
+
+    name = "successor-clause-analysis"
+
+    def __init__(self, domain: Optional[SuccessorDomain] = None):
+        self._domain = domain or SuccessorDomain()
+
+    def decide(self, query: Formula, state: DatabaseState) -> SafetyVerdict:
+        pure = expand_database_atoms(query, state)
+        quantifier_free = eliminate_successor_quantifiers(pure)
+        variables = sorted(v.name for v in free_variables(query))
+        status = self._classify(quantifier_free, variables)
+        if status:
+            return SafetyVerdict.infinite(
+                method=self.name,
+                details="a satisfiable clause leaves a free variable unanchored, "
+                "so it has infinitely many solutions",
+            )
+        return SafetyVerdict.finite(
+            method=self.name,
+            details="every satisfiable clause anchors all free variables to constants",
+        )
+
+    def _classify(self, quantifier_free: Formula, variables: Sequence[str]) -> bool:
+        """True iff the quantifier-free formula has infinitely many solutions."""
+        from ..logic.transform import dnf_clauses
+
+        for clause in dnf_clauses(quantifier_free):
+            if self._clause_is_infinite(clause, variables):
+                return True
+        return False
+
+    def _clause_is_infinite(self, clause: Sequence[Formula], variables: Sequence[str]) -> bool:
+        union_find = _OffsetUnionFind.empty()
+        negatives: List[Tuple] = []
+        for literal in clause:
+            positive = True
+            body = literal
+            if isinstance(literal, Not):
+                positive = False
+                body = literal.body
+            if isinstance(body, Top):
+                continue
+            if isinstance(body, Bottom):
+                if positive:
+                    return False
+                continue
+            if not isinstance(body, Equals):
+                raise ValueError(f"unexpected literal in successor clause: {literal!r}")
+            left = parse_successor_term(body.left)
+            right = parse_successor_term(body.right)
+            if not positive:
+                negatives.append((left, right))
+                continue
+            if left.base is None and right.base is None:
+                if left.shift != right.shift:
+                    return False
+                continue
+            if left.base is None:
+                if not union_find.anchor_value(right.base, left.shift - right.shift):
+                    return False
+                continue
+            if right.base is None:
+                if not union_find.anchor_value(left.base, right.shift - left.shift):
+                    return False
+                continue
+            if not union_find.union(left.base, right.base, right.shift - left.shift):
+                return False
+
+        if not variables:
+            return False
+
+        unanchored = [v for v in variables if union_find.value_of(v) is None]
+        if not unanchored:
+            # Every free variable has a single possible value in this clause;
+            # the clause contributes at most one tuple, hence finitely many.
+            return False
+
+        # The clause has free play in the unanchored variables.  Negative
+        # literals exclude only finitely many values, so if they are jointly
+        # satisfiable at all (which they are, by choosing the unanchored
+        # components large and far apart) the clause has infinitely many
+        # solutions.  The only remaining failure mode is a negative literal
+        # contradicted by the positive equalities alone.
+        for left, right in negatives:
+            if left.base is None and right.base is None:
+                if left.shift == right.shift:
+                    return False
+                continue
+            if left.base is not None and right.base is not None:
+                lroot, loff = union_find.find(left.base)
+                rroot, roff = union_find.find(right.base)
+                if lroot == rroot and loff + left.shift == roff + right.shift:
+                    return False
+                continue
+            variable_term = left if left.base is not None else right
+            constant_term = right if left.base is not None else left
+            value = union_find.value_of(variable_term.base)
+            if value is not None and value + variable_term.shift == constant_term.shift:
+                return False
+        return True
+
+
+class TraceRelativeSafety(RelativeSafetyDecider):
+    """Theorem 3.3: relative safety over the trace domain is undecidable.
+
+    :meth:`decide` raises :class:`RelativeSafetyUndecidable` for queries built
+    by the halting reduction (there is provably no algorithm); use
+    :meth:`semi_decide` for a fuel-bounded attempt or :meth:`decide_with_oracle`
+    to see how a halting oracle would settle every instance.
+    """
+
+    name = "trace-relative-safety"
+
+    def decide(self, query: Formula, state: DatabaseState) -> SafetyVerdict:
+        raise RelativeSafetyUndecidable(
+            "relative safety over the trace domain reduces from the halting "
+            "problem (Theorem 3.3); use semi_decide(fuel=...) or "
+            "decide_with_oracle(...)"
+        )
+
+    @staticmethod
+    def _reduction_instance(query: Formula, state: DatabaseState) -> Tuple[str, str]:
+        """Extract (machine word, input word) from a halting-reduction instance."""
+        from .reductions import extract_halting_instance
+
+        return extract_halting_instance(query, state)
+
+    def semi_decide(
+        self, query: Formula, state: DatabaseState, fuel: int = 10_000
+    ) -> SafetyVerdict:
+        """Bounded simulation: FINITE if the machine halts within ``fuel`` steps."""
+        machine_word, input_word = self._reduction_instance(query, state)
+        result = run_machine(decode_machine(machine_word), input_word, fuel)
+        if result.halted:
+            return SafetyVerdict.finite(
+                method="bounded-simulation",
+                details=f"the machine halts after {result.steps} steps, so the "
+                "set of traces (the query answer) is finite",
+            )
+        return SafetyVerdict.unknown(
+            method="bounded-simulation",
+            details=f"the machine did not halt within {fuel} steps; finiteness "
+            "remains undetermined (and is undecidable in general)",
+        )
+
+    def decide_with_oracle(
+        self, query: Formula, state: DatabaseState, halting_oracle
+    ) -> SafetyVerdict:
+        """Decide relative safety given an oracle for the halting problem."""
+        machine_word, input_word = self._reduction_instance(query, state)
+        if halting_oracle(machine_word, input_word):
+            return SafetyVerdict.finite(
+                method="halting-oracle",
+                details="the oracle asserts the machine halts, so the answer is finite",
+            )
+        return SafetyVerdict.infinite(
+            method="halting-oracle",
+            details="the oracle asserts the machine diverges, so there are "
+            "infinitely many traces",
+        )

@@ -1,0 +1,76 @@
+"""Turing machine substrate: machines, encodings, and computation traces."""
+
+from .builders import (
+    ExactHaltSpec,
+    MinRunSpec,
+    NON_TOTAL_MACHINE_BUILDERS,
+    TOTAL_MACHINE_BUILDERS,
+    halt_if_marked_else_loop,
+    halt_immediately,
+    loop_forever,
+    move_right_forever,
+    prefix_reader,
+    prefix_tree_witness,
+    seek_blank_then_halt,
+    unary_eraser,
+    unary_successor,
+    unary_writer,
+)
+from .encoding import (
+    EMPTY_MACHINE_WORD,
+    canonical_machine_word,
+    decode_machine,
+    encode_machine,
+)
+from .machine import (
+    MOVES,
+    Configuration,
+    RunResult,
+    Transition,
+    TuringMachine,
+    configurations,
+    run_machine,
+)
+from .tape import BLANK, MARK, TAPE_ALPHABET, Tape
+from .traces import (
+    classify_word,
+    has_at_least_traces,
+    has_exactly_traces,
+    holds_P,
+    input_of_trace,
+    is_trace_word,
+    machine_of_trace,
+    parse_trace,
+    snapshot_of,
+    trace_count,
+    trace_of,
+    traces_of,
+)
+from .words import (
+    DOMAIN_ALPHABET,
+    MACHINE_DELIMITER,
+    SNAPSHOT_SEPARATOR,
+    WordSort,
+    input_words,
+    is_input_word,
+    is_machine_word,
+    pad_to_length,
+    words_over,
+)
+
+__all__ = [
+    "BLANK", "MARK", "TAPE_ALPHABET", "Tape",
+    "MOVES", "Transition", "TuringMachine", "Configuration", "RunResult",
+    "run_machine", "configurations",
+    "encode_machine", "decode_machine", "canonical_machine_word", "EMPTY_MACHINE_WORD",
+    "SNAPSHOT_SEPARATOR", "MACHINE_DELIMITER", "DOMAIN_ALPHABET", "WordSort",
+    "is_input_word", "is_machine_word", "input_words", "words_over", "pad_to_length",
+    "snapshot_of", "trace_of", "traces_of", "trace_count",
+    "has_at_least_traces", "has_exactly_traces", "holds_P", "is_trace_word",
+    "classify_word", "machine_of_trace", "input_of_trace", "parse_trace",
+    "halt_immediately", "loop_forever", "move_right_forever", "unary_eraser",
+    "seek_blank_then_halt", "unary_successor", "unary_writer",
+    "halt_if_marked_else_loop", "prefix_reader", "prefix_tree_witness",
+    "ExactHaltSpec", "MinRunSpec",
+    "TOTAL_MACHINE_BUILDERS", "NON_TOTAL_MACHINE_BUILDERS",
+]

@@ -1,0 +1,245 @@
+"""A library of concrete Turing machines.
+
+The paper's constructions need several specific machines:
+
+* *total* machines (halting on every input) and *non-total* machines, for the
+  Theorem 3.1 reduction (finiteness of ``P(M, c, x)`` ⟺ totality of ``M``);
+* machines with known halting behaviour on specific inputs, for the
+  Theorem 3.3 reduction (relative safety ⟺ halting);
+* the "reads ``w`` then loops, halts if the attempt fails" machine used in the
+  Appendix to show that ``B_w`` is first-order expressible from ``P``;
+* the prefix-tree witness machines of Lemma A.2, which halt after exactly
+  prescribed numbers of steps on prescribed input prefixes.
+
+All builders return :class:`~repro.turing.machine.TuringMachine` objects;
+``encode_machine`` from :mod:`repro.turing.encoding` turns them into machine
+words of the trace domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .machine import Transition, TuringMachine
+from .tape import BLANK, MARK, TAPE_ALPHABET
+from .words import pad_to_length
+
+__all__ = [
+    "halt_immediately",
+    "loop_forever",
+    "move_right_forever",
+    "unary_eraser",
+    "seek_blank_then_halt",
+    "unary_successor",
+    "unary_writer",
+    "halt_if_marked_else_loop",
+    "prefix_reader",
+    "StepConstraint",
+    "ExactHaltSpec",
+    "MinRunSpec",
+    "prefix_tree_witness",
+    "TOTAL_MACHINE_BUILDERS",
+    "NON_TOTAL_MACHINE_BUILDERS",
+]
+
+
+def halt_immediately() -> TuringMachine:
+    """The machine with no transitions: halts at once on every input (total)."""
+    return TuringMachine({}, name="halt_immediately")
+
+
+def loop_forever() -> TuringMachine:
+    """A machine that loops in place forever on every input (never halts)."""
+    rules = {
+        (1, MARK): Transition(1, MARK, "S"),
+        (1, BLANK): Transition(1, BLANK, "S"),
+    }
+    return TuringMachine(rules, name="loop_forever")
+
+
+def move_right_forever() -> TuringMachine:
+    """A machine that moves right forever without ever halting."""
+    rules = {
+        (1, MARK): Transition(1, MARK, "R"),
+        (1, BLANK): Transition(1, BLANK, "R"),
+    }
+    return TuringMachine(rules, name="move_right_forever")
+
+
+def unary_eraser() -> TuringMachine:
+    """Erase the leading block of marks, then halt on the first blank (total)."""
+    rules = {
+        (1, MARK): Transition(1, BLANK, "R"),
+    }
+    return TuringMachine(rules, name="unary_eraser")
+
+
+def seek_blank_then_halt() -> TuringMachine:
+    """Move right over marks and halt at the first blank (total).
+
+    Every input word is finite, so a blank is always reached.
+    """
+    rules = {
+        (1, MARK): Transition(1, MARK, "R"),
+    }
+    return TuringMachine(rules, name="seek_blank_then_halt")
+
+
+def unary_successor() -> TuringMachine:
+    """Append one mark after the leading block of marks, then halt (total)."""
+    rules = {
+        (1, MARK): Transition(1, MARK, "R"),
+        (1, BLANK): Transition(2, MARK, "S"),
+    }
+    return TuringMachine(rules, name="unary_successor")
+
+
+def unary_writer(count: int) -> TuringMachine:
+    """Write ``count`` marks to the right of the starting position, then halt (total)."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    rules: Dict[Tuple[int, str], Transition] = {}
+    for state in range(1, count + 1):
+        for symbol in TAPE_ALPHABET:
+            rules[(state, symbol)] = Transition(state + 1, MARK, "R")
+    return TuringMachine(rules, name=f"unary_writer_{count}")
+
+
+def halt_if_marked_else_loop() -> TuringMachine:
+    """Halt iff the first input character is a mark; loop forever otherwise.
+
+    A simple non-total machine whose halting set (inputs starting with ``1``)
+    is obvious, used in halting-problem corpora.
+    """
+    rules = {
+        (1, BLANK): Transition(1, BLANK, "S"),
+    }
+    return TuringMachine(rules, name="halt_if_marked_else_loop")
+
+
+def prefix_reader(word: str) -> TuringMachine:
+    """The ``B_w`` machine of the Appendix.
+
+    Reads the input left to right comparing against ``word``: if the whole of
+    ``word`` is read successfully the machine enters an infinite loop;
+    otherwise (a mismatch) it halts.  Consequently the machine has
+    "many" traces exactly on the inputs that start with ``word``, which is how
+    the paper expresses ``B_w`` through the trace predicate.
+    """
+    for char in word:
+        if char not in TAPE_ALPHABET:
+            raise ValueError(f"invalid character {char!r} in prefix word")
+    rules: Dict[Tuple[int, str], Transition] = {}
+    loop_state = len(word) + 1
+    for index, char in enumerate(word):
+        state = index + 1
+        rules[(state, char)] = Transition(state + 1, char, "R")
+    rules[(loop_state, MARK)] = Transition(loop_state, MARK, "S")
+    rules[(loop_state, BLANK)] = Transition(loop_state, BLANK, "S")
+    return TuringMachine(rules, name=f"prefix_reader_{word or 'empty'}")
+
+
+# ---------------------------------------------------------------------------
+# Lemma A.2 witness machines
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExactHaltSpec:
+    """Require the machine to have exactly ``traces`` traces on ``word`` (an ``E`` constraint)."""
+
+    word: str
+    traces: int
+
+    @property
+    def steps(self) -> int:
+        """The machine must halt after exactly this many steps."""
+        return self.traces - 1
+
+
+@dataclass(frozen=True)
+class MinRunSpec:
+    """Require the machine to have at least ``traces`` traces on ``word`` (a ``D`` constraint)."""
+
+    word: str
+    traces: int
+
+    @property
+    def steps(self) -> int:
+        """The machine must run for at least this many steps."""
+        return self.traces - 1
+
+
+StepConstraint = Tuple[str, int]
+
+
+def _padded_prefix(word: str, length: int) -> str:
+    """The first ``length`` characters of ``word``, blank-padded if necessary."""
+    if len(word) >= length:
+        return word[:length]
+    return word + BLANK * (length - len(word))
+
+
+def prefix_tree_witness(
+    exact: Sequence[ExactHaltSpec],
+    at_least: Sequence[MinRunSpec] = (),
+) -> TuringMachine:
+    """Build the Lemma A.2 witness machine.
+
+    The machine scans right one cell per step.  Its states form the prefix
+    tree of the *halting prefixes* ``u[:traces]`` of the exact constraints; it
+    halts exactly when the characters read so far complete one of those
+    prefixes at the prescribed step, and otherwise keeps scanning forever.
+
+    The ``at_least`` constraints do not influence the construction (a scanner
+    that never halts spuriously satisfies them automatically whenever the
+    Lemma A.2 criterion holds); they are accepted so the caller can express
+    the full constraint system in one place.
+    """
+    del at_least  # only the exact constraints shape the machine
+    halting_prefixes = {
+        _padded_prefix(spec.word, spec.traces) for spec in exact if spec.traces >= 1
+    }
+    # Nodes of the prefix tree: every proper prefix of a halting prefix.
+    nodes = {""}
+    for prefix in halting_prefixes:
+        for length in range(len(prefix)):
+            nodes.add(prefix[:length])
+    ordered_nodes = sorted(nodes, key=lambda p: (len(p), p))
+    node_state = {node: index + 1 for index, node in enumerate(ordered_nodes)}
+    free_state = len(ordered_nodes) + 1
+
+    rules: Dict[Tuple[int, str], Transition] = {}
+    for node in ordered_nodes:
+        state = node_state[node]
+        for char in TAPE_ALPHABET:
+            extended = node + char
+            if extended in halting_prefixes:
+                continue  # halt: no transition
+            if extended in node_state:
+                rules[(state, char)] = Transition(node_state[extended], char, "R")
+            else:
+                rules[(state, char)] = Transition(free_state, char, "R")
+    for char in TAPE_ALPHABET:
+        rules[(free_state, char)] = Transition(free_state, char, "R")
+    return TuringMachine(rules, name="prefix_tree_witness")
+
+
+# Convenient corpora of machines with known totality status.
+TOTAL_MACHINE_BUILDERS = (
+    halt_immediately,
+    unary_eraser,
+    seek_blank_then_halt,
+    unary_successor,
+    lambda: unary_writer(1),
+    lambda: unary_writer(3),
+)
+
+NON_TOTAL_MACHINE_BUILDERS = (
+    loop_forever,
+    move_right_forever,
+    halt_if_marked_else_loop,
+    lambda: prefix_reader(MARK),
+    lambda: prefix_reader(MARK + BLANK + MARK),
+)

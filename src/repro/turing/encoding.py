@@ -1,0 +1,112 @@
+"""Encoding of Turing machines as machine words.
+
+"The Turing machines themselves can be represented as strings in the alphabet
+``{1, &, *}`` with ``*`` being a delimiter (we require that every machine
+contain at least one ``*``).  The details of a particular representation are
+not otherwise important." — Section 3.
+
+Our representation encodes every transition as five unary fields separated by
+single blanks and terminated by a ``'*'``::
+
+    <state> & <read> & <next state> & <write> & <move> *
+
+* states are written in unary (state ``q`` is ``'1' * q``);
+* tape symbols are coded ``'1'`` → ``11`` and ``'&'`` → ``1``;
+* moves are coded ``L`` → ``1``, ``S`` → ``11``, ``R`` → ``111``.
+
+The machine with no transitions (it halts immediately on every input) encodes
+as the single delimiter ``'*'``.
+
+Decoding is **total** on machine words: any machine word that is not a valid
+encoding decodes to the empty machine.  This matches the paper's convention
+that *every* string over ``{1, &, *}`` containing a delimiter *is* a machine;
+our choice simply fixes which machine the ill-formed ones are.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .machine import MOVES, Transition, TuringMachine
+from .tape import BLANK, MARK
+from .words import MACHINE_DELIMITER, is_machine_word
+
+__all__ = ["encode_machine", "decode_machine", "EMPTY_MACHINE_WORD", "canonical_machine_word"]
+
+EMPTY_MACHINE_WORD = MACHINE_DELIMITER
+
+_SYMBOL_TO_CODE = {MARK: MARK * 2, BLANK: MARK}
+_CODE_TO_SYMBOL = {code: symbol for symbol, code in _SYMBOL_TO_CODE.items()}
+_MOVE_TO_CODE = {"L": MARK, "S": MARK * 2, "R": MARK * 3}
+_CODE_TO_MOVE = {code: move for move, code in _MOVE_TO_CODE.items()}
+
+
+def encode_machine(machine: TuringMachine) -> str:
+    """Encode ``machine`` as a machine word."""
+    parts: List[str] = []
+    for (state, symbol), transition in sorted(machine.transitions.items()):
+        fields = (
+            MARK * state,
+            _SYMBOL_TO_CODE[symbol],
+            MARK * transition.next_state,
+            _SYMBOL_TO_CODE[transition.write],
+            _MOVE_TO_CODE[transition.move],
+        )
+        parts.append(BLANK.join(fields) + MACHINE_DELIMITER)
+    if not parts:
+        return EMPTY_MACHINE_WORD
+    return "".join(parts)
+
+
+def _decode_transition(chunk: str) -> Tuple[Tuple[int, str], Transition]:
+    fields = chunk.split(BLANK)
+    if len(fields) != 5 or any(not f or set(f) != {MARK} for f in fields):
+        raise ValueError(f"malformed transition chunk {chunk!r}")
+    state_code, read_code, next_code, write_code, move_code = fields
+    if read_code not in _CODE_TO_SYMBOL or write_code not in _CODE_TO_SYMBOL:
+        raise ValueError(f"malformed symbol code in {chunk!r}")
+    if move_code not in _CODE_TO_MOVE:
+        raise ValueError(f"malformed move code in {chunk!r}")
+    key = (len(state_code), _CODE_TO_SYMBOL[read_code])
+    transition = Transition(
+        next_state=len(next_code),
+        write=_CODE_TO_SYMBOL[write_code],
+        move=_CODE_TO_MOVE[move_code],
+    )
+    return key, transition
+
+
+def decode_machine(word: str) -> TuringMachine:
+    """Decode a machine word into a Turing machine.
+
+    Raises ``ValueError`` if ``word`` is not a machine word at all.  Machine
+    words that are not well-formed encodings (including duplicate keys) decode
+    to the empty machine, so that decoding is total on the machine sort.
+    """
+    if not is_machine_word(word):
+        raise ValueError(f"not a machine word: {word!r}")
+    if word == EMPTY_MACHINE_WORD:
+        return TuringMachine({}, name="empty")
+    chunks = word.split(MACHINE_DELIMITER)
+    if chunks[-1] != "":
+        # Trailing garbage after the final delimiter: ill-formed encoding.
+        return TuringMachine({}, name="empty")
+    table: Dict[Tuple[int, str], Transition] = {}
+    try:
+        for chunk in chunks[:-1]:
+            key, transition = _decode_transition(chunk)
+            if key in table:
+                raise ValueError(f"duplicate transition for {key}")
+            table[key] = transition
+    except ValueError:
+        return TuringMachine({}, name="empty")
+    return TuringMachine(table)
+
+
+def canonical_machine_word(word: str) -> str:
+    """The canonical encoding of the machine denoted by ``word``.
+
+    Two machine words denote the same machine iff their canonical encodings
+    are equal.
+    """
+    return encode_machine(decode_machine(word))

@@ -1,0 +1,199 @@
+"""Single-tape Turing machines over the alphabet ``{'1', '&'}``.
+
+Machines follow the conventions of Section 3 of the paper:
+
+* the tape alphabet is ``{'1', '&'}`` with ``'&'`` the blank;
+* the input word ``w`` (a string over ``{'1', '&'}``) is written on the tape
+  surrounded by blanks, and the machine starts in state ``1`` reading the
+  leftmost character of ``w``;
+* the machine halts when no transition is defined for the current
+  (state, symbol) pair; the result of a halted computation is the leftmost
+  maximal block of ``'1'`` characters (the empty word if the tape is blank).
+
+States are positive integers; the initial state is ``1``.  Moves are ``'L'``,
+``'S'`` (stay) and ``'R'``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from .tape import BLANK, MARK, TAPE_ALPHABET, Tape
+
+__all__ = [
+    "MOVES",
+    "Transition",
+    "TuringMachine",
+    "Configuration",
+    "RunResult",
+    "run_machine",
+]
+
+MOVES = ("L", "S", "R")
+_MOVE_OFFSETS = {"L": -1, "S": 0, "R": 1}
+
+
+@dataclass(frozen=True, order=True)
+class Transition:
+    """The action taken from a (state, symbol) pair."""
+
+    next_state: int
+    write: str
+    move: str
+
+    def __post_init__(self) -> None:
+        if self.next_state < 1:
+            raise ValueError("states are positive integers")
+        if self.write not in TAPE_ALPHABET:
+            raise ValueError(f"invalid write symbol {self.write!r}")
+        if self.move not in MOVES:
+            raise ValueError(f"invalid move {self.move!r}")
+
+
+@dataclass(frozen=True)
+class TuringMachine:
+    """A deterministic single-tape Turing machine.
+
+    ``transitions`` maps ``(state, symbol)`` to a :class:`Transition`.  A
+    missing entry means the machine halts in that situation.
+    """
+
+    transitions: Mapping[Tuple[int, str], Transition]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        table: Dict[Tuple[int, str], Transition] = {}
+        for (state, symbol), transition in dict(self.transitions).items():
+            if state < 1:
+                raise ValueError("states are positive integers")
+            if symbol not in TAPE_ALPHABET:
+                raise ValueError(f"invalid read symbol {symbol!r}")
+            if not isinstance(transition, Transition):
+                transition = Transition(*transition)
+            table[(state, symbol)] = transition
+        object.__setattr__(self, "transitions", table)
+
+    @classmethod
+    def from_rules(
+        cls,
+        rules: Mapping[Tuple[int, str], Tuple[int, str, str]],
+        name: str = "",
+    ) -> "TuringMachine":
+        """Build a machine from ``(state, symbol) -> (state', write, move)`` rules."""
+        return cls(
+            {key: Transition(*value) for key, value in rules.items()}, name=name
+        )
+
+    @property
+    def states(self) -> Tuple[int, ...]:
+        """All states mentioned by the transition table (at least state 1)."""
+        mentioned = {1}
+        for (state, _symbol), transition in self.transitions.items():
+            mentioned.add(state)
+            mentioned.add(transition.next_state)
+        return tuple(sorted(mentioned))
+
+    def transition_for(self, state: int, symbol: str) -> Optional[Transition]:
+        """The transition applicable in ``state`` reading ``symbol``, if any."""
+        return self.transitions.get((state, symbol))
+
+    def __len__(self) -> int:
+        return len(self.transitions)
+
+    def __str__(self) -> str:
+        label = self.name or "machine"
+        return f"{label}({len(self.transitions)} transitions, {len(self.states)} states)"
+
+
+@dataclass
+class Configuration:
+    """A machine configuration: state, tape contents and head position."""
+
+    state: int
+    tape: Tape
+    head: int
+
+    @classmethod
+    def initial(cls, word: str) -> "Configuration":
+        """The initial configuration on input ``word``.
+
+        The input is written starting at position 0 and the head reads the
+        leftmost character of the word (position 0), as in the paper.
+        """
+        for char in word:
+            if char not in TAPE_ALPHABET:
+                raise ValueError(f"invalid input character {char!r}")
+        return cls(state=1, tape=Tape.from_word(word), head=0)
+
+    def copy(self) -> "Configuration":
+        """An independent copy."""
+        return Configuration(self.state, self.tape.copy(), self.head)
+
+    def is_halted(self, machine: TuringMachine) -> bool:
+        """True iff ``machine`` has no applicable transition here."""
+        return machine.transition_for(self.state, self.tape.read(self.head)) is None
+
+    def step(self, machine: TuringMachine) -> bool:
+        """Perform one step of ``machine`` in place.
+
+        Returns ``True`` if a step was taken, ``False`` if the machine is
+        halted in this configuration.
+        """
+        transition = machine.transition_for(self.state, self.tape.read(self.head))
+        if transition is None:
+            return False
+        self.tape.write(self.head, transition.write)
+        self.head += _MOVE_OFFSETS[transition.move]
+        self.state = transition.next_state
+        return True
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of running a machine with a step budget."""
+
+    halted: bool
+    steps: int
+    output: Optional[str]
+    final: Configuration
+
+    @property
+    def exhausted(self) -> bool:
+        """True iff the step budget ran out before the machine halted."""
+        return not self.halted
+
+
+def run_machine(machine: TuringMachine, word: str, fuel: int) -> RunResult:
+    """Run ``machine`` on ``word`` for at most ``fuel`` steps.
+
+    If the machine halts within the budget, ``output`` is the result word as
+    defined in the paper; otherwise ``output`` is ``None`` and ``halted`` is
+    ``False`` (the machine may or may not halt with more fuel — the halting
+    problem is, after all, what the paper is about).
+    """
+    if fuel < 0:
+        raise ValueError("fuel must be non-negative")
+    configuration = Configuration.initial(word)
+    steps = 0
+    while steps < fuel:
+        if not configuration.step(machine):
+            return RunResult(True, steps, configuration.tape.result_word(), configuration)
+        steps += 1
+    if configuration.is_halted(machine):
+        return RunResult(True, steps, configuration.tape.result_word(), configuration)
+    return RunResult(False, steps, None, configuration)
+
+
+def configurations(machine: TuringMachine, word: str, limit: int) -> Iterator[Configuration]:
+    """Yield the first ``limit`` configurations of ``machine`` on ``word``.
+
+    The initial configuration is always yielded first; iteration stops early
+    if the machine halts.
+    """
+    configuration = Configuration.initial(word)
+    yield configuration.copy()
+    produced = 1
+    while produced < limit and configuration.step(machine):
+        yield configuration.copy()
+        produced += 1

@@ -1,0 +1,108 @@
+"""Sparse tape for single-tape Turing machines.
+
+The tape alphabet is ``{'1', '&'}`` with ``'&'`` as the white-space (blank)
+marker, exactly as in Section 3 of the paper.  The tape is conceptually
+bi-infinite; only non-blank cells are stored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = ["BLANK", "MARK", "TAPE_ALPHABET", "Tape"]
+
+BLANK = "&"
+MARK = "1"
+TAPE_ALPHABET = (MARK, BLANK)
+
+
+@dataclass
+class Tape:
+    """A bi-infinite tape storing only its non-blank cells."""
+
+    cells: Dict[int, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_word(cls, word: str, origin: int = 0) -> "Tape":
+        """A tape containing ``word`` starting at position ``origin``.
+
+        Blank characters in the word are simply not stored; the surrounding
+        cells are blank as well, so ``from_word`` and the paper's "input word
+        surrounded by infinitely many &" coincide.
+        """
+        cells = {}
+        for offset, char in enumerate(word):
+            if char not in TAPE_ALPHABET:
+                raise ValueError(f"invalid tape character {char!r}")
+            if char != BLANK:
+                cells[origin + offset] = char
+        return cls(cells)
+
+    def read(self, position: int) -> str:
+        """The character at ``position`` (blank if never written)."""
+        return self.cells.get(position, BLANK)
+
+    def write(self, position: int, char: str) -> None:
+        """Write ``char`` at ``position``."""
+        if char not in TAPE_ALPHABET:
+            raise ValueError(f"invalid tape character {char!r}")
+        if char == BLANK:
+            self.cells.pop(position, None)
+        else:
+            self.cells[position] = char
+
+    def copy(self) -> "Tape":
+        """An independent copy of the tape."""
+        return Tape(dict(self.cells))
+
+    def is_blank(self) -> bool:
+        """True iff every cell is blank."""
+        return not self.cells
+
+    def extent(self) -> Tuple[int, int]:
+        """The minimal ``(low, high)`` range covering all non-blank cells.
+
+        For a completely blank tape the empty range ``(0, -1)`` is returned.
+        """
+        if not self.cells:
+            return (0, -1)
+        positions = self.cells.keys()
+        return (min(positions), max(positions))
+
+    def window(self, low: int, high: int) -> str:
+        """The contents of cells ``low..high`` inclusive as a string."""
+        if high < low:
+            return ""
+        return "".join(self.read(p) for p in range(low, high + 1))
+
+    def content(self) -> str:
+        """The minimal non-blank segment of the tape as a string."""
+        low, high = self.extent()
+        return self.window(low, high)
+
+    def result_word(self) -> str:
+        """The result of a halted computation, as defined in the paper.
+
+        If the tape is entirely blank the result is the empty word; otherwise
+        it is the leftmost maximal word over ``{'1'}`` written on the tape and
+        surrounded by blanks.
+        """
+        if self.is_blank():
+            return ""
+        low, high = self.extent()
+        position = low
+        while position <= high and self.read(position) != MARK:
+            position += 1
+        start = position
+        while position <= high and self.read(position) == MARK:
+            position += 1
+        return MARK * (position - start)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Tape):
+            return NotImplemented
+        return self.cells == other.cells
+
+    def __str__(self) -> str:
+        return self.content() or "(blank)"

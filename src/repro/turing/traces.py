@@ -1,0 +1,234 @@
+"""Traces of partial computations, and the predicate ``P(M, w, p)``.
+
+A *trace* of machine ``M`` in input word ``w`` is a word recording ``M``
+followed by the snapshots of a partial computation of ``M`` on ``w``.  Each
+snapshot consists of the internal state, the relevant tape segment, and the
+head position, all separated by the snapshot separator (the paper's ``⋆``,
+rendered ``'|'`` here):
+
+    <machine word> | <state> | <tape> | <head> | <state> | <tape> | <head> | ...
+
+* states and head offsets are written in unary (``''`` denotes 0);
+* the first snapshot's tape segment is the input word ``w`` verbatim (so the
+  paper's "the first snapshot always is ``1 ⋆ w ⋆``" holds and the input word
+  is recoverable from the trace — the ``w(·)`` function of the Appendix);
+* later snapshots record the minimal tape segment covering all non-blank
+  cells and the head.
+
+If ``M`` does not halt on ``w`` there are infinitely many traces (one per
+number of snapshots); if it halts after ``s`` steps there are exactly
+``s + 1`` traces.  The predicates ``D_i`` (at least ``i`` traces) and ``E_i``
+(exactly ``i`` traces) of the Reach Theory are decidable by bounded
+simulation and are implemented here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from .encoding import decode_machine
+from .machine import Configuration, TuringMachine
+from .tape import BLANK, MARK
+from .words import SNAPSHOT_SEPARATOR, WordSort, is_input_word, is_machine_word
+
+__all__ = [
+    "snapshot_of",
+    "trace_of",
+    "traces_of",
+    "trace_count",
+    "has_at_least_traces",
+    "has_exactly_traces",
+    "holds_P",
+    "is_trace_word",
+    "classify_word",
+    "machine_of_trace",
+    "input_of_trace",
+    "parse_trace",
+]
+
+_SEP = SNAPSHOT_SEPARATOR
+
+
+def _unary(n: int) -> str:
+    return MARK * n
+
+
+def snapshot_of(configuration: Configuration, input_word: Optional[str] = None) -> str:
+    """The snapshot string of a configuration.
+
+    If ``input_word`` is given, the snapshot is an *initial* snapshot and the
+    tape segment is the input word verbatim; otherwise the minimal segment
+    covering the non-blank cells and the head is used.
+    """
+    if input_word is not None:
+        segment = input_word
+        low = 0
+    else:
+        ext_low, ext_high = configuration.tape.extent()
+        if ext_high < ext_low:
+            low = configuration.head
+            high = configuration.head
+        else:
+            low = min(ext_low, configuration.head)
+            high = max(ext_high, configuration.head)
+        segment = configuration.tape.window(low, high)
+    head_offset = max(configuration.head - low, 0)
+    return (
+        _unary(configuration.state)
+        + _SEP
+        + segment
+        + _SEP
+        + _unary(head_offset)
+        + _SEP
+    )
+
+
+def trace_of(machine_word: str, input_word: str, snapshots: int) -> Optional[str]:
+    """The trace of the machine on ``input_word`` with the given number of snapshots.
+
+    Returns ``None`` if the machine halts before producing that many
+    snapshots (i.e. no such trace exists), or if ``snapshots < 1``.
+    """
+    if snapshots < 1:
+        return None
+    machine = decode_machine(machine_word)
+    configuration = Configuration.initial(input_word)
+    parts: List[str] = [machine_word, _SEP, snapshot_of(configuration, input_word)]
+    produced = 1
+    while produced < snapshots:
+        if not configuration.step(machine):
+            return None
+        parts.append(snapshot_of(configuration))
+        produced += 1
+    return "".join(parts)
+
+
+def traces_of(machine_word: str, input_word: str, max_snapshots: int) -> Iterator[str]:
+    """Yield all traces of the machine on ``input_word`` with at most ``max_snapshots`` snapshots."""
+    machine = decode_machine(machine_word)
+    configuration = Configuration.initial(input_word)
+    parts: List[str] = [machine_word, _SEP, snapshot_of(configuration, input_word)]
+    produced = 1
+    yield "".join(parts)
+    while produced < max_snapshots:
+        if not configuration.step(machine):
+            return
+        parts.append(snapshot_of(configuration))
+        produced += 1
+        yield "".join(parts)
+
+
+def trace_count(machine_word: str, input_word: str, fuel: int) -> Optional[int]:
+    """The number of traces of the machine on ``input_word``, if determined within ``fuel`` steps.
+
+    Returns the exact (finite) count if the machine halts within ``fuel``
+    steps, and ``None`` otherwise (the count is then at least ``fuel + 1`` and
+    possibly infinite).
+    """
+    machine = decode_machine(machine_word)
+    configuration = Configuration.initial(input_word)
+    steps = 0
+    while steps < fuel:
+        if not configuration.step(machine):
+            return steps + 1
+        steps += 1
+    if configuration.is_halted(machine):
+        return steps + 1
+    return None
+
+
+def has_at_least_traces(machine_word: str, input_word: str, count: int) -> bool:
+    """The predicate ``D_count``: the machine has at least ``count`` traces on ``input_word``.
+
+    Always terminates: at most ``count`` simulation steps are needed.
+    """
+    if count <= 0:
+        return True
+    if count == 1:
+        return True  # the initial snapshot always exists
+    determined = trace_count(machine_word, input_word, count)
+    if determined is None:
+        return True
+    return determined >= count
+
+
+def has_exactly_traces(machine_word: str, input_word: str, count: int) -> bool:
+    """The predicate ``E_count``: the machine has exactly ``count`` traces on ``input_word``."""
+    if count <= 0:
+        return False
+    determined = trace_count(machine_word, input_word, count + 1)
+    return determined == count
+
+
+def parse_trace(word: str) -> Optional[Tuple[str, str, int]]:
+    """Parse a candidate trace word.
+
+    Returns ``(machine_word, input_word, snapshot_count)`` if the word is a
+    well-formed trace of that machine on that input, and ``None`` otherwise.
+    """
+    if _SEP not in word:
+        return None
+    parts = word.split(_SEP)
+    machine_word = parts[0]
+    if not is_machine_word(machine_word):
+        return None
+    rest = parts[1:]
+    # A trace ends with the separator, so the final split part must be empty,
+    # and the snapshots occupy groups of three fields.
+    if not rest or rest[-1] != "":
+        return None
+    fields = rest[:-1]
+    if not fields or len(fields) % 3 != 0:
+        return None
+    snapshots = len(fields) // 3
+    input_word = fields[1]
+    if not is_input_word(input_word):
+        return None
+    expected = trace_of(machine_word, input_word, snapshots)
+    if expected != word:
+        return None
+    return machine_word, input_word, snapshots
+
+
+def is_trace_word(word: str) -> bool:
+    """True iff ``word`` is a trace of some machine on some input word."""
+    return parse_trace(word) is not None
+
+
+def holds_P(machine_word: str, input_word: str, trace_word: str) -> bool:
+    """The ternary domain predicate ``P(M, w, p)`` of Section 3.
+
+    True iff ``machine_word`` is a machine word, ``input_word`` an input word,
+    ``trace_word`` a trace word, and ``trace_word`` is a trace of that machine
+    on that input.
+    """
+    if not is_machine_word(machine_word) or not is_input_word(input_word):
+        return False
+    parsed = parse_trace(trace_word)
+    if parsed is None:
+        return False
+    found_machine, found_input, _snapshots = parsed
+    return found_machine == machine_word and found_input == input_word
+
+
+def classify_word(word: str) -> WordSort:
+    """Classify a domain word into one of the four sorts M / W / T / O."""
+    if is_input_word(word):
+        return WordSort.INPUT
+    if is_machine_word(word):
+        return WordSort.MACHINE
+    if is_trace_word(word):
+        return WordSort.TRACE
+    return WordSort.OTHER
+
+
+def machine_of_trace(word: str) -> str:
+    """The function ``m(·)`` of the Appendix: the machine of a trace, else the empty word."""
+    parsed = parse_trace(word)
+    return parsed[0] if parsed else ""
+
+
+def input_of_trace(word: str) -> str:
+    """The function ``w(·)`` of the Appendix: the input word of a trace, else the empty word."""
+    parsed = parse_trace(word)
+    return parsed[1] if parsed else ""

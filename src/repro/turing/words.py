@@ -1,0 +1,87 @@
+"""Utilities for the word sorts of the trace domain.
+
+The domain **T** of Section 3 is the set of all words over the alphabet
+``{'1', '&', '*', '|'}`` (the paper writes the snapshot separator as a star
+``⋆``; we render it as ``'|'``).  Words are partitioned into four sorts:
+
+* **machine words** — words over ``{'1', '&', '*'}`` containing at least one
+  ``'*'`` (these encode Turing machines, see :mod:`repro.turing.encoding`);
+* **input words** — words over ``{'1', '&'}``, including the empty word;
+* **trace words** — words containing ``'|'`` that are well-formed traces of a
+  partial computation (see :mod:`repro.turing.traces`);
+* **other words** — everything else.
+
+The classification is a total recursive function, as required by the paper
+("the machines, the input words, and the traces ... do not intersect").
+"""
+
+from __future__ import annotations
+
+import itertools
+from enum import Enum
+from typing import Iterator, Tuple
+
+from .tape import BLANK, MARK
+
+__all__ = [
+    "SNAPSHOT_SEPARATOR",
+    "MACHINE_DELIMITER",
+    "DOMAIN_ALPHABET",
+    "WordSort",
+    "is_input_word",
+    "is_machine_word",
+    "input_words",
+    "words_over",
+    "pad_to_length",
+]
+
+SNAPSHOT_SEPARATOR = "|"
+MACHINE_DELIMITER = "*"
+DOMAIN_ALPHABET = (MARK, BLANK, MACHINE_DELIMITER, SNAPSHOT_SEPARATOR)
+
+
+class WordSort(Enum):
+    """The four sorts of domain words (predicates M, W, T, O of the Appendix)."""
+
+    MACHINE = "machine"
+    INPUT = "input"
+    TRACE = "trace"
+    OTHER = "other"
+
+
+def is_input_word(word: str) -> bool:
+    """True iff ``word`` is an input word: a word over ``{'1', '&'}``."""
+    return all(char in (MARK, BLANK) for char in word)
+
+
+def is_machine_word(word: str) -> bool:
+    """True iff ``word`` is a machine word.
+
+    Machine words are non-empty words over ``{'1', '&', '*'}`` containing at
+    least one ``'*'`` (the paper requires every machine representation to
+    contain at least one delimiter).
+    """
+    if not word or SNAPSHOT_SEPARATOR in word:
+        return False
+    if MACHINE_DELIMITER not in word:
+        return False
+    return all(char in (MARK, BLANK, MACHINE_DELIMITER) for char in word)
+
+
+def words_over(alphabet: Tuple[str, ...], max_length: int) -> Iterator[str]:
+    """All words over ``alphabet`` of length at most ``max_length``, shortest first."""
+    for length in range(max_length + 1):
+        for letters in itertools.product(alphabet, repeat=length):
+            yield "".join(letters)
+
+
+def input_words(max_length: int) -> Iterator[str]:
+    """All input words of length at most ``max_length``, shortest first."""
+    return words_over((MARK, BLANK), max_length)
+
+
+def pad_to_length(word: str, length: int) -> str:
+    """Pad an input word with blanks up to ``length`` characters."""
+    if len(word) > length:
+        raise ValueError("word longer than requested length")
+    return word + BLANK * (length - len(word))

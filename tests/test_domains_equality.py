@@ -1,0 +1,65 @@
+"""Tests for the pure-equality domain and its small-model decision procedure."""
+
+import pytest
+
+from repro.domains.base import DomainError, TheoryUndecidableError
+from repro.domains.equality import EqualityDomain
+from repro.logic.builders import conj, eq, exists, forall, neg, neq, var
+from repro.logic.parser import parse_formula
+
+
+def test_carrier_membership_and_enumeration():
+    naturals = EqualityDomain("naturals")
+    strings = EqualityDomain("strings")
+    assert naturals.contains(5) and not naturals.contains("a")
+    assert strings.contains("ab") and not strings.contains(3)
+    assert naturals.sample_elements(4) == [0, 1, 2, 3]
+    assert strings.sample_elements(3) == ["", "a", "b"]
+    with pytest.raises(ValueError):
+        EqualityDomain("reals")
+
+
+def test_no_functions_or_predicates():
+    domain = EqualityDomain()
+    with pytest.raises(KeyError):
+        domain.eval_function("f", [1])
+    with pytest.raises(KeyError):
+        domain.eval_predicate("<", [1, 2])
+
+
+def test_decide_counting_sentences():
+    domain = EqualityDomain()
+    assert domain.decide(parse_formula("exists x. exists y. x != y"))
+    assert domain.decide(parse_formula("exists x. exists y. exists z. (x != y & x != z & y != z)"))
+    assert not domain.decide(parse_formula("exists x. forall y. x = y"))
+    assert domain.decide(parse_formula("forall x. exists y. x != y"))
+    assert domain.decide(parse_formula("forall x. forall y. (x = y | x != y)"))
+
+
+def test_decide_with_constants():
+    domain = EqualityDomain()
+    assert domain.decide(parse_formula("exists x. x != 3"))
+    assert not domain.decide(parse_formula("forall x. x = 3"))
+    assert domain.decide(neg(eq(1, 2)))
+    assert not domain.decide(eq(1, 2))
+
+
+def test_decide_rejects_open_formulas_and_foreign_constants():
+    domain = EqualityDomain()
+    with pytest.raises(DomainError):
+        domain.decide(parse_formula("x = 3"))
+    with pytest.raises(DomainError):
+        domain.decide(eq("not a natural", "not a natural"))
+
+
+def test_fresh_elements():
+    domain = EqualityDomain()
+    fresh = domain.fresh_elements(3, avoid=[0, 1, 2])
+    assert fresh == [3, 4, 5]
+
+
+def test_base_domain_decide_is_unavailable():
+    from repro.domains.base import Domain
+
+    with pytest.raises(TheoryUndecidableError):
+        Domain().decide(parse_formula("exists x. x = x"))

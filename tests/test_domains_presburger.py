@@ -1,0 +1,147 @@
+"""Tests for Presburger arithmetic: linear terms, Cooper QE, the decision procedure."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.domains.base import DomainError
+from repro.domains.presburger import (
+    LinTerm,
+    PresburgerDomain,
+    eliminate_presburger_quantifiers,
+    linearize_term,
+)
+from repro.experiments.corpora import presburger_sentences
+from repro.logic.builders import atom, conj, disj, exists, forall, implies, neg, var
+from repro.logic.formulas import is_quantifier_free
+from repro.logic.parser import parse_formula, parse_term
+from repro.logic.terms import Const, Var
+
+
+def test_linterm_arithmetic():
+    t = LinTerm.of(3, x=2, y=-1)
+    assert t.coeff_of("x") == 2 and t.coeff_of("z") == 0
+    assert t.add(LinTerm.of(1, x=-2)).coeff_of("x") == 0
+    assert t.scale(2).constant == 6
+    assert t.substitute("x", LinTerm.of(5)).constant == 13
+    assert t.evaluate({"x": 1, "y": 2}) == 3 + 2 - 2
+    assert LinTerm.of(4).is_constant()
+
+
+def test_linearize_term():
+    assert linearize_term(parse_term("x + 2 * y + 1")) == LinTerm.of(1, x=1, y=2)
+    assert linearize_term(parse_term("succ(x)")) == LinTerm.of(1, x=1)
+    assert linearize_term(parse_term("x - y")) == LinTerm.of(0, x=1, y=-1)
+    with pytest.raises(DomainError):
+        linearize_term(parse_term("x * y"))
+    with pytest.raises(DomainError):
+        linearize_term(parse_term("f(x)"))
+
+
+def test_domain_evaluation():
+    domain = PresburgerDomain()
+    assert domain.eval_predicate("<", (1, 2))
+    assert domain.eval_predicate("divides", (3, 9))
+    assert not domain.eval_predicate("divides", (3, 10))
+    assert domain.eval_function("+", (2, 3)) == 5
+    assert domain.eval_function("succ", (4,)) == 5
+    assert domain.contains(0) and not domain.contains(-1) and not domain.contains("x")
+    integers = PresburgerDomain("integers")
+    assert integers.contains(-5)
+    assert integers.sample_elements(5) == [0, 1, -1, 2, -2]
+
+
+def test_decide_corpus_sentences():
+    domain = PresburgerDomain()
+    for name, sentence, expected in presburger_sentences():
+        assert domain.decide(sentence) == expected, name
+
+
+def test_decide_divisibility_sentences():
+    domain = PresburgerDomain()
+    assert domain.decide(parse_formula("forall x. exists y. (x = y + y | x = y + y + 1)"))
+    assert domain.decide(parse_formula("exists x. (divides(3, x) & divides(5, x) & 0 < x)"))
+    assert not domain.decide(parse_formula("exists x. (divides(2, x) & divides(2, x + 1))"))
+
+
+def test_integers_versus_naturals():
+    naturals = PresburgerDomain("naturals")
+    integers = PresburgerDomain("integers")
+    sentence = parse_formula("exists x. x + 1 = 0")
+    assert not naturals.decide(sentence)
+    assert integers.decide(sentence)
+    least = parse_formula("exists x. forall y. (x <= y)")
+    assert naturals.decide(least)
+    assert not integers.decide(least)
+
+
+def test_quantifier_elimination_is_quantifier_free():
+    formula = parse_formula("exists y. (x < y & y < z)")
+    eliminated = eliminate_presburger_quantifiers(formula, naturals=True)
+    assert is_quantifier_free(eliminated)
+
+
+def test_decide_requires_sentence():
+    domain = PresburgerDomain()
+    with pytest.raises(DomainError):
+        domain.decide(parse_formula("x < 3"))
+
+
+# --- property-based validation of Cooper's elimination ------------------------
+
+BOUND = 4
+
+
+@st.composite
+def bounded_sentences(draw):
+    """Random sentences with explicitly bounded quantifiers over 0..BOUND-1."""
+    x, y = Var("x"), Var("y")
+
+    def bounded(variable, body, existential):
+        guard = atom("<", variable, Const(BOUND))
+        if existential:
+            return exists(variable.name, conj(guard, body))
+        return forall(variable.name, implies(guard, body))
+
+    def random_atom(vars_available):
+        left = draw(st.sampled_from(vars_available))
+        right = draw(st.sampled_from(vars_available))
+        constant = draw(st.integers(0, 4))
+        kind = draw(st.sampled_from(["lt", "le", "eq-offset", "sum"]))
+        if kind == "lt":
+            return atom("<", left, right)
+        if kind == "le":
+            return atom("<=", left, Const(constant))
+        if kind == "eq-offset":
+            return parse_formula(f"{left.name} = {right.name} + {constant}")
+        return parse_formula(f"{left.name} + {right.name} < {constant + 3}")
+
+    inner = random_atom([x, y])
+    for _ in range(draw(st.integers(0, 2))):
+        connective = draw(st.sampled_from(["and", "or", "not"]))
+        other = random_atom([x, y])
+        if connective == "and":
+            inner = conj(inner, other)
+        elif connective == "or":
+            inner = disj(inner, other)
+        else:
+            inner = neg(inner)
+    sentence = bounded(x, bounded(y, inner, draw(st.booleans())), draw(st.booleans()))
+    return sentence
+
+
+def _brute_force(sentence):
+    """Evaluate a bounded sentence by explicit search over 0..BOUND+4."""
+    domain = PresburgerDomain()
+    universe = list(range(BOUND + 5))
+    from repro.relational.calculus import evaluate_formula
+
+    return evaluate_formula(sentence, universe, {}, interpretation=domain)
+
+
+@settings(max_examples=60, deadline=None)
+@given(bounded_sentences())
+def test_cooper_agrees_with_brute_force_on_bounded_sentences(sentence):
+    domain = PresburgerDomain()
+    assert domain.decide(sentence) == _brute_force(sentence)

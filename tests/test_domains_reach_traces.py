@@ -1,0 +1,159 @@
+"""Tests for the Reach Theory of Traces: Lemma A.2, Theorem A.3, Corollary A.4."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.domains.base import DomainError
+from repro.domains.reach_traces import (
+    AtLeastConstraint,
+    ExactlyConstraint,
+    ReachTracesDomain,
+    eliminate_reach_quantifiers,
+    expand_trace_predicate,
+    lemma_a2_conflicts,
+    lemma_a2_satisfiable,
+    lemma_a2_witness,
+    padded_prefix,
+    starts_with_padded,
+)
+from repro.experiments.exp10_trace_qe import sentence_corpus
+from repro.logic.builders import atom, conj, const, exists, forall, implies, neq, var
+from repro.logic.formulas import is_quantifier_free
+from repro.logic.terms import Const
+from repro.turing.builders import halt_immediately, loop_forever, unary_eraser
+from repro.turing.encoding import encode_machine
+from repro.turing.traces import has_at_least_traces, has_exactly_traces
+
+DOMAIN = ReachTracesDomain()
+ERASER = encode_machine(unary_eraser())
+LOOPER = encode_machine(loop_forever())
+HALTER = encode_machine(halt_immediately())
+
+
+# --- padded prefixes ----------------------------------------------------------
+
+
+def test_padded_prefix_and_starts_with():
+    assert padded_prefix("1&1", 2) == "1&"
+    assert padded_prefix("1", 3) == "1&&"
+    assert padded_prefix("111", 0) == ""
+    assert starts_with_padded("1&1", "1&")
+    assert starts_with_padded("1", "1&&")
+    assert not starts_with_padded("1", "11")
+    assert starts_with_padded("", "&&")
+
+
+# --- Lemma A.2 ----------------------------------------------------------------
+
+
+def test_lemma_a2_satisfiable_cases():
+    assert lemma_a2_satisfiable([], [])
+    assert lemma_a2_satisfiable([AtLeastConstraint("111", 3)], [ExactlyConstraint("1&1", 2)])
+    assert lemma_a2_satisfiable([], [ExactlyConstraint("111", 2), ExactlyConstraint("1&1", 3)])
+    # same word, two different exact counts: conflict
+    assert not lemma_a2_satisfiable([], [ExactlyConstraint("111", 2), ExactlyConstraint("111", 3)])
+    # at-least exceeding an exact count on a shared prefix: conflict
+    assert not lemma_a2_satisfiable([AtLeastConstraint("111", 5)], [ExactlyConstraint("11&", 2)])
+    # an exact count of zero is impossible (the initial snapshot always exists)
+    assert not lemma_a2_satisfiable([], [ExactlyConstraint("1", 0)])
+    conflicts = lemma_a2_conflicts([AtLeastConstraint("111", 5)], [ExactlyConstraint("11&", 2)])
+    assert conflicts and conflicts[0][0] == "at-least-vs-exactly"
+
+
+def test_lemma_a2_witness_meets_constraints():
+    at_least = [AtLeastConstraint("111", 3), AtLeastConstraint("&&&&", 2)]
+    exactly = [ExactlyConstraint("1&11", 2), ExactlyConstraint("&1&&", 3)]
+    machine_word = encode_machine(lemma_a2_witness(at_least, exactly))
+    for constraint in at_least:
+        assert has_at_least_traces(machine_word, constraint.word, constraint.count)
+    for constraint in exactly:
+        assert has_exactly_traces(machine_word, constraint.word, constraint.count)
+
+
+def test_lemma_a2_witness_rejects_unsatisfiable():
+    with pytest.raises(ValueError):
+        lemma_a2_witness([AtLeastConstraint("111", 5)], [ExactlyConstraint("11&", 2)])
+
+
+constraint_words = st.text(alphabet="1&", min_size=5, max_size=5)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.tuples(constraint_words, st.integers(1, 4)), max_size=3),
+    st.lists(st.tuples(constraint_words, st.integers(1, 4)), max_size=3),
+)
+def test_lemma_a2_criterion_matches_witness_property(at_least_raw, exactly_raw):
+    at_least = [AtLeastConstraint(w, c) for w, c in at_least_raw]
+    exactly = [ExactlyConstraint(w, c) for w, c in exactly_raw]
+    if lemma_a2_satisfiable(at_least, exactly):
+        machine_word = encode_machine(lemma_a2_witness(at_least, exactly))
+        assert all(has_at_least_traces(machine_word, c.word, c.count) for c in at_least)
+        assert all(has_exactly_traces(machine_word, c.word, c.count) for c in exactly)
+    else:
+        assert lemma_a2_conflicts(at_least, exactly)
+
+
+# --- evaluation of the extended signature --------------------------------------
+
+
+def test_eval_predicates_of_reach_signature():
+    from repro.turing.traces import trace_of
+
+    trace = trace_of(ERASER, "1", 1)
+    assert DOMAIN.eval_predicate("M", (ERASER,))
+    assert DOMAIN.eval_predicate("W", ("1&",))
+    assert DOMAIN.eval_predicate("T", (trace,))
+    assert DOMAIN.eval_predicate("O", ("||",))
+    assert DOMAIN.eval_predicate("B", ("1&", "1&1"))
+    assert not DOMAIN.eval_predicate("B", ("1&", ERASER))
+    assert DOMAIN.eval_predicate("D", (2, ERASER, "1"))
+    assert DOMAIN.eval_predicate("E", (2, ERASER, "1"))
+    assert not DOMAIN.eval_predicate("D", (2, "111", "1"))  # not a machine word
+    assert DOMAIN.eval_function("m", (trace,)) == ERASER
+    assert DOMAIN.eval_function("w", (trace,)) == "1"
+
+
+def test_expand_trace_predicate_shape():
+    formula = atom("P", var("a"), var("b"), var("c"))
+    expanded = expand_trace_predicate(formula)
+    assert is_quantifier_free(expanded)
+    assert "P" not in str(expanded)
+
+
+# --- Theorem A.3 / Corollary A.4 ------------------------------------------------
+
+
+def test_quantifier_elimination_output_is_quantifier_free():
+    for _name, sentence, _expected in sentence_corpus()[:8]:
+        assert is_quantifier_free(eliminate_reach_quantifiers(sentence, DOMAIN))
+
+
+def test_decide_sentence_corpus():
+    for name, sentence, expected in sentence_corpus():
+        assert DOMAIN.decide(sentence) == expected, name
+
+
+def test_decide_requires_sentence():
+    with pytest.raises(DomainError):
+        DOMAIN.decide(atom("M", var("x")))
+
+
+def test_decide_mixed_machine_equalities():
+    from repro.logic.terms import Apply, Var
+
+    # there is a machine different from the eraser (trivially true)
+    assert DOMAIN.decide(exists("x", conj(atom("M", var("x")), neq(var("x"), Const(ERASER)))))
+    # every trace's machine is a machine word
+    machine_of_x = Apply("m", (Var("x"),))
+    assert DOMAIN.decide(forall("x", implies(atom("T", var("x")), atom("M", machine_of_x))))
+
+
+def test_decide_exact_count_via_substituted_constant():
+    # direct equality substitution path: exists x. (x = trace & T(x))
+    from repro.logic.builders import eq
+    from repro.turing.traces import trace_of
+
+    trace = trace_of(HALTER, "", 1)
+    sentence = exists("x", conj(eq(var("x"), Const(trace)), atom("T", var("x"))))
+    assert DOMAIN.decide(sentence)

@@ -1,0 +1,139 @@
+"""Tests for the successor domain (N, '): evaluation, QE, decision procedure."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.domains.base import DomainError
+from repro.domains.successor import (
+    SuccessorDomain,
+    SuccTerm,
+    eliminate_successor_quantifiers,
+    extended_active_domain_elements,
+    extended_active_domain_radius,
+    parse_successor_term,
+    successor_term_to_logic,
+)
+from repro.logic.analysis import free_variables
+from repro.logic.builders import conj, disj, eq, exists, forall, neg, neq, var
+from repro.logic.formulas import Equals, Exists, ForAll, Formula, Not, is_quantifier_free
+from repro.logic.parser import parse_formula
+from repro.logic.terms import Apply, Const, Var
+from repro.relational.calculus import evaluate_formula
+
+DOMAIN = SuccessorDomain()
+
+
+def test_parse_and_render_successor_terms():
+    term = parse_successor_term(Apply("succ", (Apply("succ", (Var("x"),)),)))
+    assert term == SuccTerm("x", 2)
+    assert parse_successor_term(Const(3)) == SuccTerm(None, 3)
+    assert successor_term_to_logic(SuccTerm("x", 1)) == Apply("succ", (Var("x"),))
+    assert successor_term_to_logic(SuccTerm(None, 2)) == Const(2)
+    with pytest.raises(DomainError):
+        parse_successor_term(Const(-1))
+    with pytest.raises(DomainError):
+        parse_successor_term(Apply("+", (Var("x"), Const(1))))
+
+
+def test_domain_evaluation():
+    assert DOMAIN.eval_function("succ", (3,)) == 4
+    assert DOMAIN.contains(0) and not DOMAIN.contains(-1)
+    with pytest.raises(KeyError):
+        DOMAIN.eval_predicate("<", (1, 2))
+
+
+def test_decide_basic_sentences():
+    cases = [
+        ("forall x. ~(succ(x) = x)", True),
+        ("forall x. exists y. y = succ(x)", True),
+        ("exists x. succ(x) = 0", False),
+        ("exists x. succ(x) = 5", True),
+        ("exists x. succ(succ(x)) = 1", False),
+        ("forall x. forall y. (succ(x) = succ(y) -> x = y)", True),
+        ("exists x. exists y. (succ(x) = y & succ(y) = x)", False),
+        ("exists x. x != 0", True),
+        ("forall x. (x = 0 | exists y. succ(y) = x)", True),
+    ]
+    for text, expected in cases:
+        assert DOMAIN.decide(parse_formula(text)) == expected, text
+
+
+def test_quantifier_elimination_output_is_quantifier_free():
+    samples = [
+        "exists x. succ(x) = y",
+        "exists x. (succ(x) = y & x != z)",
+        "exists x. (x != y & x != z & x != 3)",
+        "forall x. (x != y | x = y)",
+        "exists x. (succ(succ(x)) = y & succ(x) != z)",
+    ]
+    for text in samples:
+        eliminated = eliminate_successor_quantifiers(parse_formula(text))
+        assert is_quantifier_free(eliminated), text
+
+
+def test_elimination_adds_nonzero_guards():
+    # exists x. succ(x) = y  <=>  y != 0
+    eliminated = eliminate_successor_quantifiers(parse_formula("exists x. succ(x) = y"))
+    universe = range(6)
+    for value in universe:
+        expected = value != 0
+        got = evaluate_formula(eliminated, universe, {Var("y"): value}, interpretation=DOMAIN)
+        assert got == expected
+
+
+def test_extended_active_domain():
+    assert extended_active_domain_radius(0) == 1
+    assert extended_active_domain_radius(3) == 8
+    elements = extended_active_domain_elements([5], 1)
+    assert {3, 4, 5, 6, 7, 0, 1, 2} <= elements
+    assert 10 not in elements
+    with pytest.raises(ValueError):
+        extended_active_domain_radius(-1)
+
+
+# --- property-based: elimination preserves semantics on samples ---------------
+
+variables = st.sampled_from(["x", "y", "z"])
+
+
+@st.composite
+def successor_formulas(draw, depth=2):
+    def random_term():
+        base = draw(st.one_of(variables.map(Var), st.integers(0, 3).map(Const)))
+        for _ in range(draw(st.integers(0, 2))):
+            base = Apply("succ", (base,))
+        return base
+
+    def literal():
+        equality = Equals(random_term(), random_term())
+        return equality if draw(st.booleans()) else Not(equality)
+
+    formula: Formula = literal()
+    for _ in range(depth):
+        other = literal()
+        choice = draw(st.sampled_from(["and", "or", "exists", "forall", "skip"]))
+        if choice == "and":
+            formula = conj(formula, other)
+        elif choice == "or":
+            formula = disj(formula, other)
+        elif choice == "exists":
+            formula = Exists(draw(variables), conj(formula, other))
+        elif choice == "forall":
+            formula = ForAll(draw(variables), disj(formula, other))
+    return formula
+
+
+@settings(max_examples=80, deadline=None)
+@given(successor_formulas())
+def test_elimination_agrees_on_sampled_assignments(formula):
+    eliminated = eliminate_successor_quantifiers(formula)
+    assert is_quantifier_free(eliminated)
+    free = sorted(free_variables(formula) | free_variables(eliminated), key=lambda v: v.name)
+    universe = list(range(9))
+    for values in itertools.product(range(0, 9, 3), repeat=len(free)):
+        assignment = dict(zip(free, values))
+        before = evaluate_formula(formula, universe, assignment, interpretation=DOMAIN)
+        after = evaluate_formula(eliminated, universe, assignment, interpretation=DOMAIN)
+        assert before == after

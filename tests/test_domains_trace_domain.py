@@ -1,0 +1,74 @@
+"""Tests for the trace domain T and the NaturalOrderDomain specialisation."""
+
+import pytest
+
+from repro.domains.base import DomainError
+from repro.domains.nat_order import NaturalOrderDomain
+from repro.domains.traces_domain import TraceDomain
+from repro.logic.builders import atom, conj, exists, forall, implies, neq, var
+from repro.logic.parser import parse_formula
+from repro.logic.terms import Const
+from repro.turing.builders import loop_forever, unary_eraser
+from repro.turing.encoding import encode_machine
+from repro.turing.traces import trace_of
+from repro.turing.words import WordSort
+
+ERASER = encode_machine(unary_eraser())
+LOOPER = encode_machine(loop_forever())
+
+
+def test_nat_order_domain_signature_and_decide():
+    domain = NaturalOrderDomain()
+    assert domain.signature.has_predicate("<")
+    assert domain.has_decidable_theory
+    assert domain.decide(parse_formula("forall x. exists y. x < y"))
+    assert not domain.decide(parse_formula("exists x. x < 0"))
+    assert domain.eval_predicate("<=", (3, 3))
+
+
+def test_trace_domain_carrier():
+    domain = TraceDomain()
+    assert domain.contains("1&*|")
+    assert not domain.contains("abc")
+    assert not domain.contains(42)
+    sample = domain.sample_elements(6)
+    assert "" in sample and len(sample) == 6
+
+
+def test_trace_domain_classify_and_functions():
+    domain = TraceDomain()
+    trace = trace_of(ERASER, "11", 2)
+    assert domain.classify(ERASER) is WordSort.MACHINE
+    assert domain.classify("1&") is WordSort.INPUT
+    assert domain.classify(trace) is WordSort.TRACE
+    assert domain.classify("|*") is WordSort.OTHER
+    assert domain.eval_function("m", (trace,)) == ERASER
+    assert domain.eval_function("w", (trace,)) == "11"
+    assert domain.eval_function("w", ("junk",)) == ""
+    with pytest.raises(DomainError):
+        domain.classify("abc")
+    with pytest.raises(KeyError):
+        domain.eval_function("f", ("x",))
+
+
+def test_trace_domain_predicate_P():
+    domain = TraceDomain()
+    trace = trace_of(ERASER, "11", 3)
+    assert domain.eval_predicate("P", (ERASER, "11", trace))
+    assert not domain.eval_predicate("P", (LOOPER, "11", trace))
+    with pytest.raises(KeyError):
+        domain.eval_predicate("Q", ("a",))
+
+
+def test_trace_domain_decide_delegates_to_reach_theory():
+    domain = TraceDomain()
+    # there exist two distinct traces of the eraser on "1"
+    sentence = exists("x", exists("y", conj(
+        atom("P", Const(ERASER), Const("1"), var("x")),
+        atom("P", Const(ERASER), Const("1"), var("y")),
+        neq(var("x"), var("y")),
+    )))
+    assert domain.decide(sentence)
+    # but the empty machine-word argument is never a machine, so no trace of "" exists
+    nothing = exists("x", atom("P", Const("111"), Const("1"), var("x")))
+    assert not domain.decide(nothing)

@@ -1,0 +1,42 @@
+"""The shipped examples must keep running against the public API."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_are_present():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_to_completion(path, capsys):
+    runpy.run_path(str(path), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{path.name} produced no output"
+
+
+def test_experiments_cli_runs_selected_experiment(capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["E3"]) == 0
+    output = capsys.readouterr().out
+    assert "E3" in output and "Conclusion" in output
+
+    assert main(["--list"]) == 0
+    listing = capsys.readouterr().out
+    assert "E12" in listing
+
+
+def test_experiments_cli_rejects_unknown_id():
+    from repro.experiments.__main__ import main
+
+    with pytest.raises(SystemExit):
+        main(["E99"])

@@ -1,0 +1,32 @@
+"""Integration tests: every experiment reproduces its paper claim on its corpus."""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS, render_result, render_table
+from repro.experiments.report import ExperimentResult
+
+
+@pytest.mark.parametrize("experiment_id", sorted(ALL_EXPERIMENTS))
+def test_experiment_reproduces_claim(experiment_id):
+    result = ALL_EXPERIMENTS[experiment_id]()
+    assert isinstance(result, ExperimentResult)
+    assert result.rows, f"{experiment_id} produced no rows"
+    failing = [row for row in result.rows if not row[-1]]
+    assert not failing, f"{experiment_id} rows inconsistent with the paper: {failing}"
+    assert "MISMATCH" not in result.conclusion
+
+
+def test_render_table_and_result():
+    result = ExperimentResult("X", "claim", ("a", "b"))
+    result.add_row(1, True)
+    result.add_row(22, False)
+    text = render_table(result.headers, result.rows)
+    assert "a" in text and "22" in text
+    result.conclusion = "done"
+    full = render_result(result)
+    assert "Claim: claim" in full and "done" in full
+    assert not result.all_rows_consistent
+
+
+def test_experiment_registry_is_complete():
+    assert set(ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 13)}

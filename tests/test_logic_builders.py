@@ -1,0 +1,78 @@
+"""Unit tests for repro.logic.builders (simplifying constructors)."""
+
+import pytest
+
+from repro.logic.builders import (
+    apply,
+    atom,
+    conj,
+    const,
+    disj,
+    eq,
+    exists,
+    exists_many,
+    forall,
+    forall_many,
+    neg,
+    neq,
+    term,
+    var,
+)
+from repro.logic.formulas import BOTTOM, TOP, And, Bottom, Exists, ForAll, Not, Or, Top
+from repro.logic.terms import Apply, Const, Var
+
+
+def test_term_coercion():
+    assert term("x") == Var("x")
+    assert term(3) == Const(3)
+    assert term("hello world") == Const("hello world")
+    assert term(Var("y")) == Var("y")
+    with pytest.raises(TypeError):
+        term(True)
+    with pytest.raises(TypeError):
+        term(3.14)
+
+
+def test_atom_and_apply_coerce_arguments():
+    assert atom("P", "x", 3).args == (Var("x"), Const(3))
+    assert apply("f", "x").args == (Var("x"),)
+
+
+def test_conj_flattens_and_absorbs():
+    a, b, c = atom("A", "x"), atom("B", "x"), atom("C", "x")
+    assert conj(a, conj(b, c)) == And((a, b, c))
+    assert conj(a, TOP) == a
+    assert conj() == TOP
+    assert isinstance(conj(a, BOTTOM), Bottom)
+
+
+def test_disj_flattens_and_absorbs():
+    a, b, c = atom("A", "x"), atom("B", "x"), atom("C", "x")
+    assert disj(a, disj(b, c)) == Or((a, b, c))
+    assert disj(a, BOTTOM) == a
+    assert disj() == BOTTOM
+    assert isinstance(disj(a, TOP), Top)
+
+
+def test_neg_simplifies():
+    a = atom("A", "x")
+    assert neg(neg(a)) == a
+    assert neg(TOP) == BOTTOM
+    assert neg(BOTTOM) == TOP
+    assert neg(a) == Not(a)
+
+
+def test_eq_neq():
+    assert eq("x", 3) == __import__("repro").logic.formulas.Equals(Var("x"), Const(3))
+    assert isinstance(neq("x", "y"), Not)
+
+
+def test_quantifier_builders():
+    body = atom("P", "x", "y")
+    assert exists("x", body) == Exists("x", body)
+    assert forall(Var("x"), body) == ForAll("x", body)
+    nested = exists_many(["x", "y"], body)
+    assert isinstance(nested, Exists) and isinstance(nested.body, Exists)
+    nested = forall_many([Var("x"), Var("y")], body)
+    assert isinstance(nested, ForAll) and isinstance(nested.body, ForAll)
+    assert exists_many([], body) == body

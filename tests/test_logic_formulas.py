@@ -1,0 +1,99 @@
+"""Unit tests for repro.logic.formulas and repro.logic.analysis."""
+
+from repro.logic.analysis import (
+    all_variables,
+    atoms_of,
+    bound_variables,
+    constants_of,
+    formula_size,
+    free_variables,
+    functions_of,
+    predicates_of,
+    quantifier_depth,
+)
+from repro.logic.builders import apply, atom, conj, disj, eq, exists, forall, neg, var
+from repro.logic.formulas import (
+    BOTTOM,
+    TOP,
+    And,
+    Atom,
+    Equals,
+    Exists,
+    ForAll,
+    Not,
+    Or,
+    is_atomic,
+    is_literal,
+    is_quantifier_free,
+    walk_formulas,
+)
+from repro.logic.terms import Const, Var
+
+
+def sample_formula():
+    return exists("y", conj(atom("F", var("x"), var("y")), neg(eq(var("x"), Const(3)))))
+
+
+def test_walk_formulas_counts_nodes():
+    formula = sample_formula()
+    nodes = list(walk_formulas(formula))
+    assert nodes[0] == formula
+    assert formula_size(formula) == len(nodes)
+
+
+def test_free_and_bound_variables():
+    formula = sample_formula()
+    assert free_variables(formula) == frozenset({Var("x")})
+    assert bound_variables(formula) == frozenset({Var("y")})
+    assert all_variables(formula) == frozenset({Var("x"), Var("y")})
+
+
+def test_free_variables_of_quantified_sentence_empty():
+    sentence = forall("x", exists("y", atom("R", var("x"), var("y"))))
+    assert free_variables(sentence) == frozenset()
+
+
+def test_constants_predicates_functions():
+    formula = conj(atom("P", apply("f", var("x")), Const(2)), eq(Const("w"), var("y")))
+    assert constants_of(formula) == frozenset({Const(2), Const("w")})
+    assert predicates_of(formula) == frozenset({"P"})
+    assert functions_of(formula) == frozenset({"f"})
+
+
+def test_quantifier_depth():
+    assert quantifier_depth(atom("P", var("x"))) == 0
+    assert quantifier_depth(exists("x", atom("P", var("x")))) == 1
+    nested = forall("x", conj(exists("y", atom("R", var("x"), var("y"))),
+                              exists("z", exists("w", atom("R", var("z"), var("w"))))))
+    assert quantifier_depth(nested) == 3
+
+
+def test_is_quantifier_free_literal_atomic():
+    assert is_quantifier_free(conj(atom("P", var("x")), neg(eq(var("x"), var("y")))))
+    assert not is_quantifier_free(sample_formula())
+    assert is_atomic(atom("P", var("x")))
+    assert is_atomic(TOP) and is_atomic(BOTTOM)
+    assert is_literal(neg(atom("P", var("x"))))
+    assert not is_literal(conj(atom("P", var("x")), atom("Q", var("x"))))
+
+
+def test_atoms_of():
+    formula = sample_formula()
+    atoms = atoms_of(formula)
+    assert any(isinstance(a, Atom) and a.predicate == "F" for a in atoms)
+    assert any(isinstance(a, Equals) for a in atoms)
+
+
+def test_formula_hashability_and_equality():
+    f1 = sample_formula()
+    f2 = sample_formula()
+    assert f1 == f2
+    assert hash(f1) == hash(f2)
+    assert len({f1, f2}) == 1
+
+
+def test_nary_connectives_store_tuples():
+    formula = And((atom("P", var("x")), atom("Q", var("x"))))
+    assert isinstance(formula.conjuncts, tuple)
+    formula = Or((atom("P", var("x")), atom("Q", var("x"))))
+    assert isinstance(formula.disjuncts, tuple)

@@ -1,0 +1,79 @@
+"""Tests for substitution, constant replacement, and bound-variable renaming."""
+
+import pytest
+
+from repro.logic.analysis import bound_variables, free_variables
+from repro.logic.builders import atom, conj, eq, exists, forall, neg, var
+from repro.logic.formulas import Exists
+from repro.logic.substitution import (
+    fresh_variable,
+    fresh_variables,
+    rename_bound_variables,
+    replace_constant_with_variable,
+    substitute,
+    substitute_constant,
+    substitute_term,
+)
+from repro.logic.terms import Apply, Const, Var
+
+
+def test_substitute_term():
+    term = Apply("f", (Var("x"), Const(1)))
+    assert substitute_term(term, {Var("x"): Const(7)}) == Apply("f", (Const(7), Const(1)))
+    assert substitute_term(Var("y"), {Var("x"): Const(7)}) == Var("y")
+
+
+def test_substitute_free_occurrences_only():
+    formula = conj(atom("P", var("x")), exists("x", atom("Q", var("x"))))
+    result = substitute(formula, {Var("x"): Const(5)})
+    assert result == conj(atom("P", Const(5)), exists("x", atom("Q", var("x"))))
+
+
+def test_substitute_capture_avoidance():
+    # substituting y for x under exists y must rename the bound y
+    formula = exists("y", atom("R", var("x"), var("y")))
+    result = substitute(formula, {Var("x"): Var("y")})
+    assert isinstance(result, Exists)
+    assert result.var != "y"
+    assert Var("y") in free_variables(result)
+
+
+def test_substitute_noop_when_variable_absent():
+    formula = atom("P", var("x"))
+    assert substitute(formula, {Var("z"): Const(1)}) == formula
+
+
+def test_fresh_variable_avoids_used():
+    used = [Var("v"), Var("v_0"), Var("x")]
+    fresh = fresh_variable(used, stem="v")
+    assert fresh not in used
+    many = fresh_variables(3, used, stem="x")
+    assert len(set(many)) == 3
+    assert all(v not in used for v in many)
+
+
+def test_substitute_constant():
+    formula = conj(atom("P", Const("c"), var("x")), eq(var("x"), Const("c")))
+    replaced = substitute_constant(formula, Const("c"), Var("z"))
+    assert replaced == conj(atom("P", var("z"), var("x")), eq(var("x"), var("z")))
+
+
+def test_replace_constant_with_variable_requires_fresh_variable():
+    formula = atom("P", Const("c"), var("x"))
+    replaced = replace_constant_with_variable(formula, Const("c"), Var("z"))
+    assert Var("z") in free_variables(replaced)
+    with pytest.raises(ValueError):
+        replace_constant_with_variable(formula, Const("c"), Var("x"))
+
+
+def test_rename_bound_variables_makes_names_unique():
+    formula = conj(
+        exists("x", atom("P", var("x"))),
+        exists("x", atom("Q", var("x"))),
+        atom("R", var("x")),
+    )
+    renamed = rename_bound_variables(formula)
+    bound = bound_variables(renamed)
+    assert len(bound) == 2
+    assert Var("x") in free_variables(renamed)
+    assert Var("x") not in bound

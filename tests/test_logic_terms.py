@@ -1,0 +1,73 @@
+"""Unit tests for repro.logic.terms."""
+
+import pytest
+
+from repro.logic.terms import (
+    Apply,
+    Const,
+    Var,
+    is_ground,
+    term_constants,
+    term_functions,
+    term_size,
+    term_variables,
+    walk_terms,
+)
+
+
+def test_var_equality_and_ordering():
+    assert Var("x") == Var("x")
+    assert Var("x") != Var("y")
+    assert Var("a") < Var("b")
+
+
+def test_const_holds_int_and_str():
+    assert Const(3).value == 3
+    assert Const("abc").value == "abc"
+    assert Const(3) != Const("3")
+
+
+def test_apply_args_are_tuples():
+    term = Apply("f", [Var("x"), Const(1)])
+    assert isinstance(term.args, tuple)
+    assert term.args == (Var("x"), Const(1))
+
+
+def test_walk_terms_preorder():
+    term = Apply("f", (Var("x"), Apply("g", (Const(2),))))
+    nodes = list(walk_terms(term))
+    assert nodes[0] == term
+    assert Var("x") in nodes
+    assert Const(2) in nodes
+    assert len(nodes) == 4
+
+
+def test_term_variables_and_constants():
+    term = Apply("f", (Var("x"), Apply("g", (Const(2), Var("y")))))
+    assert term_variables(term) == frozenset({Var("x"), Var("y")})
+    assert term_constants(term) == frozenset({Const(2)})
+    assert term_functions(term) == frozenset({"f", "g"})
+
+
+def test_is_ground():
+    assert is_ground(Const(5))
+    assert is_ground(Apply("f", (Const(1), Const(2))))
+    assert not is_ground(Var("x"))
+    assert not is_ground(Apply("f", (Var("x"),)))
+
+
+def test_term_size():
+    assert term_size(Var("x")) == 1
+    assert term_size(Apply("f", (Var("x"), Const(1)))) == 3
+
+
+def test_terms_are_hashable():
+    collection = {Var("x"), Const(1), Apply("f", (Var("x"),))}
+    assert len(collection) == 3
+    assert Apply("f", (Var("x"),)) in collection
+
+
+def test_str_representations():
+    assert str(Var("x")) == "x"
+    assert str(Const(3)) == "3"
+    assert str(Apply("f", (Var("x"), Const(1)))) == "f(x, 1)"

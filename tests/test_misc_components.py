@@ -1,0 +1,95 @@
+"""Coverage for the smaller supporting components: signatures, answers, reports, corpora."""
+
+import pytest
+
+from repro.domains.signature import Signature
+from repro.engine.answers import FiniteAnswer, InfiniteAnswer, UnknownAnswer
+from repro.experiments.corpora import (
+    family_state,
+    halting_corpus,
+    machine_corpus,
+    numeric_state,
+    ordered_query_corpus,
+    presburger_sentences,
+    successor_query_corpus,
+)
+from repro.experiments.report import ExperimentResult, render_result, render_table
+from repro.relational.state import Relation
+from repro.safety.classes import FinitenessStatus, SafetyVerdict
+from repro.turing.machine import run_machine
+from repro.turing.words import is_input_word, is_machine_word, pad_to_length, words_over
+
+
+def test_signature_merge_and_lookup():
+    base = Signature(predicates={"<": 2}, functions={"succ": 1})
+    other = Signature(predicates={"P": 3})
+    merged = base.merge(other)
+    assert merged.has_predicate("<") and merged.has_predicate("P")
+    assert merged.predicate_arity("P") == 3
+    assert merged.function_arity("succ") == 1
+    with pytest.raises(ValueError):
+        base.merge(Signature(predicates={"<": 3}))
+    with pytest.raises(ValueError):
+        Signature(predicates={"f": 1}, functions={"f": 1})
+    assert "succ/1" in str(base)
+
+
+def test_safety_verdict_constructors():
+    assert SafetyVerdict.finite("m").is_finite is True
+    assert SafetyVerdict.infinite("m").is_finite is False
+    assert SafetyVerdict.unknown("m").is_finite is None
+    assert FinitenessStatus.FINITE.is_finite is True
+    assert FinitenessStatus.UNKNOWN.is_finite is None
+
+
+def test_answer_objects():
+    relation = Relation(1, [(1,), (2,)])
+    finite = FiniteAnswer(relation)
+    assert finite.is_finite is True and len(finite) == 2
+    infinite = InfiniteAnswer(relation, reason="demo")
+    assert infinite.is_finite is False
+    unknown = UnknownAnswer(relation, reason="fuel")
+    assert unknown.is_finite is None
+
+
+def test_report_rendering_handles_empty_and_nonempty_tables():
+    empty = ExperimentResult("EX", "claim", ("a", "b"))
+    assert "a" in render_table(empty.headers, empty.rows)
+    empty.add_row("value", True)
+    rendered = render_result(empty)
+    assert "EX" in rendered and "value" in rendered
+    assert empty.all_rows_consistent
+
+
+def test_corpora_ground_truth_is_self_consistent():
+    # totality flags agree with bounded simulation on the listed inputs
+    for case in machine_corpus():
+        for word in case.halts_on:
+            assert run_machine(case.machine, word, fuel=500).halted, (case.name, word)
+        for word in case.diverges_on:
+            assert not run_machine(case.machine, word, fuel=500).halted, (case.name, word)
+        assert is_machine_word(case.word)
+    assert any(not case.total for case in machine_corpus())
+    assert any(case.total for case in machine_corpus())
+    # every halting-corpus input word is well-formed
+    assert all(is_input_word(word) for _case, word, _h in halting_corpus())
+
+
+def test_corpora_query_lists_are_nonempty_and_named_uniquely():
+    for corpus in (ordered_query_corpus(), successor_query_corpus(), presburger_sentences()):
+        names = [name for name, *_rest in corpus]
+        assert len(names) == len(set(names))
+        assert len(names) >= 5
+
+
+def test_corpora_states():
+    assert family_state(generations=2).total_rows() == 6
+    assert numeric_state([1, 2, 3]).total_rows() == 3
+
+
+def test_word_utilities():
+    assert pad_to_length("1", 3) == "1&&"
+    with pytest.raises(ValueError):
+        pad_to_length("111", 2)
+    words = list(words_over(("1", "&"), 2))
+    assert "" in words and "1&" in words and len(words) == 1 + 2 + 4

@@ -1,0 +1,125 @@
+"""Tests for the relational algebra engine, including algebraic identities."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.relational.algebra import (
+    BaseRelation,
+    Difference,
+    LiteralRelation,
+    NaturalJoin,
+    Product,
+    Projection,
+    Rename,
+    Selection,
+    Union,
+    evaluate_algebra,
+)
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.state import DatabaseState
+
+SCHEMA = DatabaseSchema((
+    RelationSchema("F", 2, ("father", "son")),
+    RelationSchema("P", 1, ("person",)),
+))
+
+
+def make_state():
+    return DatabaseState(SCHEMA, {
+        "F": [(1, 2), (1, 3), (2, 4)],
+        "P": [(1,), (2,), (3,), (4,)],
+    })
+
+
+def test_base_relation_and_selection():
+    state = make_state()
+    result = evaluate_algebra(Selection(BaseRelation("F"), lambda row: row["father"] == 1), state)
+    assert result.relation.rows == {(1, 2), (1, 3)}
+
+
+def test_projection_removes_duplicates():
+    state = make_state()
+    result = evaluate_algebra(Projection(BaseRelation("F"), ("father",)), state)
+    assert result.relation.rows == {(1,), (2,)}
+    with pytest.raises(KeyError):
+        evaluate_algebra(Projection(BaseRelation("F"), ("nope",)), state)
+
+
+def test_natural_join_computes_grandfathers():
+    state = make_state()
+    grand = NaturalJoin(
+        Rename(BaseRelation("F"), (("son", "middle"),)),
+        Rename(BaseRelation("F"), (("father", "middle"), ("son", "grandson"))),
+    )
+    result = evaluate_algebra(grand, state)
+    assert ("father", "middle", "grandson") == result.attributes
+    assert {(row[0], row[2]) for row in result.relation.rows} == {(1, 4)}
+
+
+def test_product_requires_disjoint_attributes():
+    state = make_state()
+    with pytest.raises(ValueError):
+        evaluate_algebra(Product(BaseRelation("F"), BaseRelation("F")), state)
+    result = evaluate_algebra(
+        Product(BaseRelation("P"), Rename(BaseRelation("F"), (("father", "f"), ("son", "s")))),
+        state,
+    )
+    assert len(result.relation) == 4 * 3
+
+
+def test_union_difference_compatibility():
+    state = make_state()
+    union = evaluate_algebra(Union(BaseRelation("P"), BaseRelation("P")), state)
+    assert len(union.relation) == 4
+    diff = evaluate_algebra(
+        Difference(BaseRelation("P"), LiteralRelation(("person",), ((1,), (9,)))), state
+    )
+    assert diff.relation.rows == {(2,), (3,), (4,)}
+    with pytest.raises(ValueError):
+        evaluate_algebra(Union(BaseRelation("P"), BaseRelation("F")), state)
+
+
+def test_rename_rejects_duplicates():
+    state = make_state()
+    with pytest.raises(ValueError):
+        evaluate_algebra(Rename(BaseRelation("F"), (("father", "son"),)), state)
+
+
+# --- identities checked with hypothesis --------------------------------------
+
+rows_strategy = st.sets(
+    st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=8
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows_strategy, rows_strategy)
+def test_union_is_commutative_and_idempotent(rows_a, rows_b):
+    state = DatabaseState(SCHEMA, {"F": rows_a})
+    a = LiteralRelation(("father", "son"), tuple(rows_a))
+    b = LiteralRelation(("father", "son"), tuple(rows_b))
+    left = evaluate_algebra(Union(a, b), state).relation.rows
+    right = evaluate_algebra(Union(b, a), state).relation.rows
+    assert left == right == rows_a | rows_b
+    assert evaluate_algebra(Union(a, a), state).relation.rows == rows_a
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows_strategy)
+def test_selection_then_projection_commutes_with_projection_of_selection(rows):
+    state = DatabaseState(SCHEMA, {"F": rows})
+    base = LiteralRelation(("father", "son"), tuple(rows))
+    predicate = lambda row: row["father"] <= 2
+    one = evaluate_algebra(Projection(Selection(base, predicate), ("father",)), state)
+    expected = {(f,) for (f, s) in rows if f <= 2}
+    assert one.relation.rows == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows_strategy, rows_strategy)
+def test_difference_subset_of_left(rows_a, rows_b):
+    state = DatabaseState(SCHEMA, {"F": rows_a})
+    a = LiteralRelation(("father", "son"), tuple(rows_a))
+    b = LiteralRelation(("father", "son"), tuple(rows_b))
+    result = evaluate_algebra(Difference(a, b), state).relation.rows
+    assert result == rows_a - rows_b

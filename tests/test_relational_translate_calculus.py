@@ -1,0 +1,95 @@
+"""Tests for active domains, database-atom expansion, and calculus evaluation."""
+
+import pytest
+
+from repro.domains.equality import EqualityDomain
+from repro.domains.nat_order import NaturalOrderDomain
+from repro.logic.builders import atom, conj, disj, eq, exists, forall, neg, var
+from repro.logic.formulas import Bottom
+from repro.logic.terms import Const, Var
+from repro.relational.active_domain import (
+    active_domain,
+    active_domain_of_query,
+    active_domain_of_state,
+)
+from repro.relational.calculus import evaluate_formula, evaluate_query, evaluate_query_active_domain
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.state import DatabaseState
+from repro.relational.translate import (
+    database_predicates_in,
+    expand_database_atoms,
+    is_pure_domain_formula,
+)
+
+SCHEMA = DatabaseSchema((RelationSchema("F", 2), RelationSchema("S", 1)))
+
+
+def make_state():
+    return DatabaseState(SCHEMA, {"F": [(1, 2), (2, 3)], "S": [(5,)]})
+
+
+def test_active_domain_components():
+    state = make_state()
+    query = conj(atom("F", var("x"), var("y")), eq(var("x"), Const(9)))
+    assert active_domain_of_state(state) == frozenset({1, 2, 3, 5})
+    assert active_domain_of_query(query) == frozenset({9})
+    assert active_domain(state, query) == frozenset({1, 2, 3, 5, 9})
+
+
+def test_expand_database_atoms():
+    state = make_state()
+    query = atom("F", var("x"), var("y"))
+    expanded = expand_database_atoms(query, state)
+    assert is_pure_domain_formula(expanded, SCHEMA)
+    assert database_predicates_in(query, SCHEMA) == frozenset({"F"})
+    # expansion of an empty relation is Bottom
+    empty = DatabaseState(SCHEMA, {})
+    assert isinstance(expand_database_atoms(query, empty), Bottom)
+
+
+def test_expand_preserves_semantics_on_universe():
+    state = make_state()
+    domain = EqualityDomain()
+    query = exists("y", conj(atom("F", var("x"), var("y")), neg(eq(var("x"), var("y")))))
+    expanded = expand_database_atoms(query, state)
+    universe = sorted(active_domain(state, query))
+    for value in universe:
+        with_state = evaluate_formula(query, universe, {Var("x"): value}, state, domain)
+        pure = evaluate_formula(expanded, universe, {Var("x"): value}, None, domain)
+        assert with_state == pure
+
+
+def test_evaluate_formula_quantifiers_and_atoms():
+    state = make_state()
+    domain = NaturalOrderDomain()
+    universe = [1, 2, 3, 5]
+    formula = forall("x", exists("y", disj(atom("F", var("x"), var("y")),
+                                            atom("<", var("y"), var("x")),
+                                            eq(var("x"), var("y")))))
+    assert evaluate_formula(formula, universe, {}, state, domain)
+
+
+def test_evaluate_formula_unknown_predicate_raises():
+    state = make_state()
+    with pytest.raises(KeyError):
+        evaluate_formula(atom("Mystery", var("x")), [1], {Var("x"): 1}, state, None)
+
+
+def test_evaluate_query_and_active_domain_query():
+    state = make_state()
+    domain = EqualityDomain()
+    query = exists("y", atom("F", var("x"), var("y")))
+    answer = evaluate_query(query, [1, 2, 3, 5], state=state, interpretation=domain)
+    assert answer.rows == {(1,), (2,)}
+    active = evaluate_query_active_domain(query, state, interpretation=domain)
+    assert active.rows == {(1,), (2,)}
+    zero_ary = evaluate_query(exists("x", atom("S", var("x"))), [5], state=state, interpretation=domain)
+    assert zero_ary.rows == {()}
+
+
+def test_evaluate_term_requires_assignment():
+    from repro.relational.calculus import evaluate_term
+
+    with pytest.raises(KeyError):
+        evaluate_term(Var("x"), {}, None)
+    assert evaluate_term(Const(4), {}, None) == 4

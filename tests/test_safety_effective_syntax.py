@@ -1,0 +1,108 @@
+"""Tests for the three positive effective-syntax constructions."""
+
+from repro.domains.equality import EqualityDomain
+from repro.domains.successor import SuccessorDomain
+from repro.experiments.corpora import (
+    family_schema,
+    family_state,
+    numeric_schema,
+    numeric_state,
+    ordered_query_corpus,
+    successor_query_corpus,
+)
+from repro.experiments.exp01_intro_queries import (
+    grandfather_query,
+    more_than_one_son_query,
+    unsafe_disjunction_query,
+)
+from repro.logic.builders import atom, var
+from repro.relational.calculus import evaluate_query, evaluate_query_active_domain
+from repro.safety.effective_syntax import (
+    ActiveDomainSyntax,
+    ExtendedActiveDomainSyntax,
+    FinitizationSyntax,
+)
+from repro.safety.finitization import finitize
+
+
+def test_active_domain_syntax_membership():
+    syntax = ActiveDomainSyntax(family_schema())
+    query = more_than_one_son_query()
+    restricted = syntax.restrict(query)
+    assert syntax.contains(restricted)
+    assert not syntax.contains(query)
+    enumerated = list(syntax.enumerate_syntax([query, grandfather_query()]))
+    assert all(syntax.contains(f) for f in enumerated)
+
+
+def test_active_domain_syntax_preserves_finite_queries():
+    schema = family_schema()
+    state = family_state(generations=2)
+    domain = EqualityDomain()
+    syntax = ActiveDomainSyntax(schema)
+    for query in (more_than_one_son_query(), grandfather_query()):
+        raw = evaluate_query_active_domain(query, state, interpretation=domain)
+        restricted = evaluate_query_active_domain(syntax.restrict(query), state, interpretation=domain)
+        assert raw.rows == restricted.rows
+
+
+def test_active_domain_syntax_tames_unsafe_query():
+    schema = family_schema()
+    state = family_state(generations=2)
+    domain = EqualityDomain()
+    syntax = ActiveDomainSyntax(schema)
+    unsafe = unsafe_disjunction_query()
+    # evaluated over an enlarged universe, the raw query picks up elements
+    # outside the active domain; its restriction does not.
+    universe = sorted(state.elements() | {900, 901})
+    raw = evaluate_query(unsafe, universe, state=state, interpretation=domain)
+    restricted = evaluate_query(syntax.restrict(unsafe), universe, state=state, interpretation=domain)
+    assert any(900 in row or 901 in row for row in raw.rows)
+    assert not any(900 in row or 901 in row for row in restricted.rows)
+
+
+def test_finitization_syntax_membership_and_enumeration():
+    syntax = FinitizationSyntax()
+    for name, query, _finite in ordered_query_corpus():
+        restricted = syntax.restrict(query)
+        assert restricted == finitize(query)
+        assert syntax.contains(restricted), name
+        assert not syntax.contains(query), name
+    members = list(syntax.enumerate_syntax(q for _n, q, _f in ordered_query_corpus()))
+    assert all(syntax.contains(m) for m in members)
+
+
+def test_extended_active_domain_syntax_membership():
+    syntax = ExtendedActiveDomainSyntax(numeric_schema())
+    for name, query, _finite in successor_query_corpus():
+        restricted = syntax.restrict(query)
+        assert syntax.contains(restricted), name
+        assert not syntax.contains(query), name
+
+
+def test_extended_active_domain_syntax_preserves_finite_queries():
+    domain = SuccessorDomain()
+    state = numeric_state([3, 6])
+    syntax = ExtendedActiveDomainSyntax(numeric_schema())
+    universe = list(range(0, 15))
+    for name, query, finite in successor_query_corpus():
+        if not finite:
+            continue
+        raw = evaluate_query(query, universe, state=state, interpretation=domain)
+        restricted = evaluate_query(syntax.restrict(query), universe, state=state, interpretation=domain)
+        assert raw.rows == restricted.rows, name
+
+
+def test_extended_active_domain_syntax_bounds_infinite_queries():
+    from repro.logic.analysis import quantifier_depth
+
+    domain = SuccessorDomain()
+    state = numeric_state([3, 6])
+    syntax = ExtendedActiveDomainSyntax(numeric_schema())
+    universe = list(range(0, 40))
+    for name, query, finite in successor_query_corpus():
+        if finite:
+            continue
+        restricted = evaluate_query(syntax.restrict(query), universe, state=state, interpretation=domain)
+        bound = 6 + 2 ** quantifier_depth(query)
+        assert all(all(value <= bound for value in row) for row in restricted.rows), name

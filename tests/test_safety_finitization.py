@@ -1,0 +1,96 @@
+"""Tests for the finitization operator (Theorem 2.2)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.domains.presburger import PresburgerDomain
+from repro.logic.analysis import free_variables
+from repro.logic.builders import atom, conj, eq, exists, forall_many, iff, neg, var
+from repro.logic.formulas import And, Exists
+from repro.logic.parser import parse_formula
+from repro.logic.terms import Const, Var
+from repro.safety.finitization import (
+    finitization_bound_part,
+    finitize,
+    is_finitization_of,
+    split_finitization,
+)
+
+DOMAIN = PresburgerDomain()
+
+
+def test_finitize_shape():
+    query = atom("<", var("x"), Const(5))
+    finitized = finitize(query)
+    assert isinstance(finitized, And) and len(finitized.conjuncts) == 2
+    assert finitized.conjuncts[0] == query
+    assert isinstance(finitized.conjuncts[1], Exists)
+    assert free_variables(finitized) == free_variables(query)
+
+
+def test_finitize_of_finite_query_is_equivalent():
+    # x < 5 is finite; its finitization must be equivalent
+    query = parse_formula("x < 5")
+    finitized = finitize(query)
+    equivalence = forall_many(["x"], iff(query, finitized))
+    assert DOMAIN.decide(equivalence)
+
+
+def test_finitize_of_infinite_query_is_strictly_stronger():
+    query = parse_formula("5 < x")
+    finitized = finitize(query)
+    equivalence = forall_many(["x"], iff(query, finitized))
+    assert not DOMAIN.decide(equivalence)
+    # ... and the finitization itself has no solutions at all here (no upper bound exists)
+    assert not DOMAIN.decide(Exists("x", finitized))
+
+
+def test_finitization_of_any_formula_is_finite():
+    # the bound part forces all answers below some m, so over the naturals the
+    # answer of phi^F is always finite; check the defining property as a sentence
+    from repro.logic.builders import implies
+
+    for text in ("5 < x", "x < 5", "x = x", "~(x = 3)"):
+        query = parse_formula(text)
+        finitized = finitize(query)
+        # direct semantic statement: exists m forall x (phi^F -> x < m)
+        claim = Exists(
+            "m",
+            forall_many(["x"], implies(finitized, atom("<", var("x"), var("m")))),
+        )
+        assert DOMAIN.decide(claim)
+
+
+def test_split_and_recognise_finitization():
+    query = parse_formula("x < y + 2")
+    finitized = finitize(query)
+    assert split_finitization(finitized) == query
+    assert is_finitization_of(finitized, query)
+    assert split_finitization(query) is None
+    assert not is_finitization_of(query, query)
+
+
+def test_finitize_integers_variant():
+    query = parse_formula("x < 5")
+    finitized = finitize(query, integers=True)
+    assert split_finitization(finitized) == query
+    bound = finitization_bound_part(query, integers=True)
+    assert isinstance(bound, Exists)
+
+
+def test_finitize_sentence_has_no_free_variables():
+    sentence = parse_formula("exists x. x < 5")
+    finitized = finitize(sentence)
+    assert free_variables(finitized) == frozenset()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 20), st.integers(0, 20))
+def test_finitization_equivalence_characterises_finiteness_property(a, b):
+    """For interval-style queries, phi^F == phi holds iff the query is finite."""
+    # finite query: a <= x < b   (possibly empty)
+    finite_query = conj(atom("<=", Const(a), var("x")), atom("<", var("x"), Const(b)))
+    infinite_query = atom("<", Const(a), var("x"))
+    finite_equiv = forall_many(["x"], iff(finite_query, finitize(finite_query)))
+    infinite_equiv = forall_many(["x"], iff(infinite_query, finitize(infinite_query)))
+    assert DOMAIN.decide(finite_equiv)
+    assert not DOMAIN.decide(infinite_equiv)

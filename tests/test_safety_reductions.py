@@ -1,0 +1,155 @@
+"""Tests for the Theorem 3.1 / 3.3 reductions and the domain-independence / extension helpers."""
+
+import pytest
+
+from repro.domains.equality import EqualityDomain
+from repro.domains.nat_order import NaturalOrderDomain
+from repro.domains.reach_traces import ReachTracesDomain
+from repro.domains.base import TheoryUndecidableError
+from repro.experiments.corpora import (
+    halting_corpus,
+    input_word_sample,
+    machine_corpus,
+    numeric_schema,
+    numeric_state,
+)
+from repro.logic.analysis import constants_of, free_variables
+from repro.logic.parser import parse_formula
+from repro.logic.terms import Const, Var
+from repro.safety.domain_independence import (
+    active_domain_formula,
+    check_domain_independence,
+    fact_2_1_query,
+)
+from repro.safety.extension import OrderedExtensionDomain, extension_with_effective_syntax
+from repro.safety.reductions import (
+    CONSTANT_PLACEHOLDER,
+    TotalityEnumerator,
+    extract_halting_instance,
+    fresh_total_machine_not_in,
+    halting_reduction,
+    machine_halts_within,
+    machine_is_total_on_sample,
+    query_answer_when_finite,
+    totality_equivalence_sentence,
+    totality_query,
+    totality_query_with_relation,
+)
+from repro.turing.encoding import encode_machine
+from repro.turing.traces import holds_P
+
+
+# --- Theorem 3.1 machinery ----------------------------------------------------
+
+
+def test_totality_query_shapes():
+    case = machine_corpus()[1]  # unary_eraser
+    query = totality_query(case.word)
+    assert free_variables(query) == frozenset({Var("x")})
+    assert Const(CONSTANT_PLACEHOLDER) in constants_of(query)
+    relational = totality_query_with_relation(case.word)
+    assert free_variables(relational) == frozenset({Var("x")})
+    with pytest.raises(ValueError):
+        totality_query("not-a-machine-word")
+
+
+def test_totality_equivalence_sentence_is_closed():
+    case = machine_corpus()[0]
+    sentence = totality_equivalence_sentence(case.word, totality_query(case.word))
+    assert free_variables(sentence) == frozenset()
+    assert Const(CONSTANT_PLACEHOLDER) not in constants_of(sentence)
+
+
+def test_totality_enumerator_certifies_exactly_total_corpus_machines():
+    enumerator = TotalityEnumerator(ReachTracesDomain())
+    corpus = machine_corpus()
+    candidates = [totality_query(case.word) for case in corpus if case.total]
+    certified = {
+        certificate.machine_word
+        for certificate in enumerator.enumerate_certified([c.word for c in corpus], candidates)
+    }
+    for case in corpus:
+        assert (case.word in certified) == case.total, case.name
+
+
+def test_fresh_total_machine_not_in_list():
+    words = [case.word for case in machine_corpus()]
+    fresh = fresh_total_machine_not_in(words)
+    assert encode_machine(fresh) not in words
+    assert machine_is_total_on_sample(fresh, input_word_sample(2), fuel=100)
+
+
+def test_machine_totality_and_halting_helpers():
+    corpus = {case.name: case for case in machine_corpus()}
+    assert machine_is_total_on_sample(corpus["unary_eraser"].word, input_word_sample(2), 100)
+    assert machine_is_total_on_sample(corpus["loop_forever"].word, input_word_sample(1), 50) is False
+    assert machine_halts_within(corpus["unary_eraser"].word, "111", 100) is True
+    assert machine_halts_within(corpus["loop_forever"].word, "1", 100) is None
+
+
+# --- Theorem 3.3 machinery ----------------------------------------------------
+
+
+def test_halting_reduction_round_trip():
+    for case, word, _halts in halting_corpus()[:6]:
+        query, state = halting_reduction(case.word, word)
+        assert extract_halting_instance(query, state) == (case.word, word)
+    with pytest.raises(ValueError):
+        halting_reduction(machine_corpus()[0].word, "not an input word")
+
+
+def test_query_answer_when_finite_matches_holds_P():
+    case = next(c for c in machine_corpus() if c.name == "unary_eraser")
+    answer = query_answer_when_finite(case.word, "11", fuel=100)
+    assert answer is not None and len(answer) == 3
+    assert all(holds_P(case.word, "11", trace) for trace in answer)
+    looper = next(c for c in machine_corpus() if c.name == "loop_forever")
+    assert query_answer_when_finite(looper.word, "1", fuel=50) is None
+
+
+def test_finiteness_of_reduction_query_tracks_halting():
+    for case, word, halts in halting_corpus():
+        answer = query_answer_when_finite(case.word, word, fuel=300)
+        assert (answer is not None) == halts, (case.name, word)
+
+
+# --- Fact 2.1 helpers and Corollary 2.4 ----------------------------------------
+
+
+def test_active_domain_formula_defines_active_domain():
+    from repro.relational.calculus import evaluate_query
+
+    schema = numeric_schema()
+    state = numeric_state([2, 7])
+    domain = NaturalOrderDomain()
+    formula = active_domain_formula(schema, Var("x"))
+    universe = list(range(10))
+    answer = evaluate_query(formula, universe, state=state, interpretation=domain)
+    assert answer.rows == {(2,), (7,)}
+
+
+def test_fact_2_1_query_answer_and_non_domain_independence():
+    from repro.safety.domain_independence import answer_over_universe
+
+    schema = numeric_schema()
+    state = numeric_state([1, 4])
+    domain = NaturalOrderDomain()
+    query = fact_2_1_query(schema)
+    answer = answer_over_universe(query, state, domain, universe=range(0, 9))
+    assert sorted(answer.rows) == [(5,)]
+    verdict = check_domain_independence(query, state, domain, extra_elements=range(0, 9))
+    assert verdict.is_finite is False  # domain independence refuted
+
+
+def test_ordered_extension_domain():
+    base = EqualityDomain("strings")
+    extension, syntax = extension_with_effective_syntax(base)
+    assert extension.contains("ab")
+    assert extension.eval_predicate("<", ("", "a"))       # "" enumerated before "a"
+    assert not extension.eval_predicate("<", ("a", ""))
+    assert extension.eval_predicate("<=", ("a", "a"))
+    assert syntax.contains(syntax.restrict(parse_formula("x = x")))
+    with pytest.raises(TheoryUndecidableError):
+        extension.decide(parse_formula("exists x. x = x"))
+    assert isinstance(extension, OrderedExtensionDomain)
+    assert extension.base is base

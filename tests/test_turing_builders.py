@@ -1,0 +1,71 @@
+"""Tests for the machine library, in particular the B_w and Lemma A.2 machines."""
+
+from repro.turing.builders import (
+    ExactHaltSpec,
+    MinRunSpec,
+    NON_TOTAL_MACHINE_BUILDERS,
+    TOTAL_MACHINE_BUILDERS,
+    halt_if_marked_else_loop,
+    prefix_reader,
+    prefix_tree_witness,
+    unary_writer,
+)
+from repro.turing.encoding import encode_machine
+from repro.turing.machine import run_machine
+from repro.turing.traces import has_at_least_traces, has_exactly_traces, trace_count
+from repro.turing.words import input_words
+
+
+def test_total_machine_builders_halt_on_sampled_inputs():
+    for builder in TOTAL_MACHINE_BUILDERS:
+        machine = builder()
+        for word in input_words(3):
+            assert run_machine(machine, word, fuel=200).halted, (machine.name, word)
+
+
+def test_non_total_machine_builders_diverge_somewhere():
+    for builder in NON_TOTAL_MACHINE_BUILDERS:
+        machine = builder()
+        diverges = any(not run_machine(machine, word, fuel=200).halted for word in input_words(3))
+        assert diverges, machine.name
+
+
+def test_prefix_reader_behaviour():
+    machine = prefix_reader("1&1")
+    machine_word = encode_machine(machine)
+    # inputs starting with the prefix: the machine loops, so many traces exist
+    assert trace_count(machine_word, "1&1", fuel=100) is None
+    assert trace_count(machine_word, "1&11", fuel=100) is None
+    # inputs not starting with the prefix: the machine halts quickly
+    assert trace_count(machine_word, "111", fuel=100) is not None
+    assert trace_count(machine_word, "&", fuel=100) is not None
+    # so B_w is expressible through trace counts, as the Appendix sketches
+    assert has_at_least_traces(machine_word, "1&1", len("1&1"))
+    assert not has_at_least_traces(machine_word, "11", len("1&1") + 2)
+
+
+def test_halt_if_marked_else_loop():
+    machine = halt_if_marked_else_loop()
+    assert run_machine(machine, "1", fuel=10).halted
+    assert not run_machine(machine, "&1", fuel=100).halted
+
+
+def test_unary_writer_output_length():
+    for count in (0, 1, 4):
+        result = run_machine(unary_writer(count), "", fuel=100)
+        assert result.halted and result.output == "1" * count
+
+
+def test_prefix_tree_witness_meets_specs():
+    exact = [ExactHaltSpec("1&11&", 2), ExactHaltSpec("&&1&&", 4)]
+    at_least = [MinRunSpec("11111", 3)]
+    machine_word = encode_machine(prefix_tree_witness(exact, at_least))
+    assert has_exactly_traces(machine_word, "1&11&", 2)
+    assert has_exactly_traces(machine_word, "&&1&&", 4)
+    assert has_at_least_traces(machine_word, "11111", 3)
+
+
+def test_prefix_tree_witness_without_exact_constraints_never_halts():
+    machine_word = encode_machine(prefix_tree_witness([], [MinRunSpec("111", 2)]))
+    assert trace_count(machine_word, "111", fuel=100) is None
+    assert trace_count(machine_word, "", fuel=100) is None

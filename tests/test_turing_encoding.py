@@ -1,0 +1,76 @@
+"""Tests for the machine-word encoding, including a hypothesis round-trip."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.turing.builders import loop_forever, unary_eraser, unary_successor
+from repro.turing.encoding import (
+    EMPTY_MACHINE_WORD,
+    canonical_machine_word,
+    decode_machine,
+    encode_machine,
+)
+from repro.turing.machine import Transition, TuringMachine, run_machine
+from repro.turing.tape import BLANK, MARK
+from repro.turing.words import is_machine_word
+
+
+def test_encode_produces_machine_words():
+    for builder in (loop_forever, unary_eraser, unary_successor):
+        word = encode_machine(builder())
+        assert is_machine_word(word)
+
+
+def test_empty_machine_round_trip():
+    assert encode_machine(TuringMachine({})) == EMPTY_MACHINE_WORD
+    decoded = decode_machine(EMPTY_MACHINE_WORD)
+    assert len(decoded) == 0
+
+
+def test_round_trip_preserves_transitions():
+    machine = unary_successor()
+    decoded = decode_machine(encode_machine(machine))
+    assert decoded.transitions == machine.transitions
+
+
+def test_decode_rejects_non_machine_words():
+    with pytest.raises(ValueError):
+        decode_machine("111")          # an input word, no delimiter
+    with pytest.raises(ValueError):
+        decode_machine("1|1*")         # contains the trace separator
+
+
+def test_malformed_encodings_decode_to_empty_machine():
+    assert len(decode_machine("1111*")) == 0          # wrong field count
+    assert len(decode_machine("1&1&1&1&1111*")) == 0  # bad move code
+    assert len(decode_machine("*1")) == 0             # trailing garbage
+    # behaviour: the empty machine halts immediately everywhere
+    result = run_machine(decode_machine("1111*"), "111", fuel=5)
+    assert result.halted and result.steps == 0
+
+
+def test_canonical_machine_word_idempotent():
+    word = encode_machine(unary_eraser())
+    assert canonical_machine_word(word) == word
+    assert canonical_machine_word("1111*") == EMPTY_MACHINE_WORD
+
+
+transitions_strategy = st.dictionaries(
+    keys=st.tuples(st.integers(1, 4), st.sampled_from([MARK, BLANK])),
+    values=st.builds(
+        Transition,
+        next_state=st.integers(1, 4),
+        write=st.sampled_from([MARK, BLANK]),
+        move=st.sampled_from(["L", "S", "R"]),
+    ),
+    max_size=6,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(transitions_strategy)
+def test_encode_decode_round_trip_property(transitions):
+    machine = TuringMachine(transitions)
+    word = encode_machine(machine)
+    assert is_machine_word(word)
+    assert decode_machine(word).transitions == machine.transitions

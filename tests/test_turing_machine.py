@@ -1,0 +1,105 @@
+"""Tests for the Turing machine simulator and tape."""
+
+import pytest
+
+from repro.turing.builders import (
+    halt_immediately,
+    loop_forever,
+    move_right_forever,
+    seek_blank_then_halt,
+    unary_eraser,
+    unary_successor,
+    unary_writer,
+)
+from repro.turing.machine import Configuration, Transition, TuringMachine, configurations, run_machine
+from repro.turing.tape import BLANK, MARK, Tape
+
+
+def test_tape_read_write_extent():
+    tape = Tape.from_word("1&1")
+    assert tape.read(0) == MARK and tape.read(1) == BLANK and tape.read(2) == MARK
+    assert tape.read(-5) == BLANK
+    assert tape.extent() == (0, 2)
+    tape.write(5, MARK)
+    assert tape.extent() == (0, 5)
+    tape.write(5, BLANK)
+    assert tape.extent() == (0, 2)
+    with pytest.raises(ValueError):
+        tape.write(0, "x")
+    with pytest.raises(ValueError):
+        Tape.from_word("abc")
+
+
+def test_tape_result_word():
+    assert Tape.from_word("").result_word() == ""
+    assert Tape.from_word("&&&").result_word() == ""
+    assert Tape.from_word("11").result_word() == "11"
+    assert Tape.from_word("&11&111").result_word() == "11"
+
+
+def test_transition_validation():
+    with pytest.raises(ValueError):
+        Transition(0, MARK, "R")
+    with pytest.raises(ValueError):
+        Transition(1, "x", "R")
+    with pytest.raises(ValueError):
+        Transition(1, MARK, "UP")
+
+
+def test_machine_states_and_lookup():
+    machine = unary_eraser()
+    assert 1 in machine.states
+    assert machine.transition_for(1, MARK) is not None
+    assert machine.transition_for(1, BLANK) is None
+    assert len(machine) == 1
+
+
+def test_initial_configuration_and_step():
+    config = Configuration.initial("11")
+    assert config.state == 1 and config.head == 0
+    machine = unary_eraser()
+    assert config.step(machine)
+    assert config.head == 1
+    assert config.tape.read(0) == BLANK
+    with pytest.raises(ValueError):
+        Configuration.initial("1*1")
+
+
+def test_run_machine_halting_and_output():
+    result = run_machine(unary_eraser(), "111", fuel=100)
+    assert result.halted and result.steps == 3 and result.output == ""
+    result = run_machine(unary_successor(), "11", fuel=100)
+    assert result.halted and result.output == "111"
+    result = run_machine(unary_writer(3), "", fuel=100)
+    assert result.halted and result.output == "111"
+    result = run_machine(halt_immediately(), "1&1", fuel=10)
+    assert result.halted and result.steps == 0 and result.output == "1"
+
+
+def test_run_machine_fuel_exhaustion():
+    result = run_machine(loop_forever(), "1", fuel=25)
+    assert not result.halted and result.exhausted and result.output is None and result.steps == 25
+    result = run_machine(move_right_forever(), "", fuel=10)
+    assert not result.halted
+    with pytest.raises(ValueError):
+        run_machine(loop_forever(), "1", fuel=-1)
+
+
+def test_run_machine_zero_fuel_detects_immediate_halt():
+    result = run_machine(halt_immediately(), "1", fuel=0)
+    assert result.halted and result.steps == 0
+
+
+def test_configurations_iterator():
+    machine = seek_blank_then_halt()
+    snapshots = list(configurations(machine, "111", limit=10))
+    assert len(snapshots) == 4  # initial + three steps to reach the blank
+    assert snapshots[0].head == 0 and snapshots[-1].head == 3
+    limited = list(configurations(machine, "111", limit=2))
+    assert len(limited) == 2
+
+
+def test_machine_from_rules_tuple_form():
+    machine = TuringMachine.from_rules({(1, MARK): (2, BLANK, "R")})
+    transition = machine.transition_for(1, MARK)
+    assert transition == Transition(2, BLANK, "R")

@@ -1,0 +1,143 @@
+"""Tests for traces, the predicate P, trace counting, and word classification."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.turing.builders import (
+    halt_if_marked_else_loop,
+    halt_immediately,
+    loop_forever,
+    prefix_reader,
+    unary_eraser,
+)
+from repro.turing.encoding import encode_machine
+from repro.turing.traces import (
+    classify_word,
+    has_at_least_traces,
+    has_exactly_traces,
+    holds_P,
+    input_of_trace,
+    is_trace_word,
+    machine_of_trace,
+    parse_trace,
+    trace_count,
+    trace_of,
+    traces_of,
+)
+from repro.turing.words import WordSort, is_input_word, is_machine_word
+
+ERASER = encode_machine(unary_eraser())
+LOOPER = encode_machine(loop_forever())
+HALTER = encode_machine(halt_immediately())
+PICKY = encode_machine(halt_if_marked_else_loop())
+
+
+def test_trace_of_shapes():
+    first = trace_of(ERASER, "11", 1)
+    assert first is not None and first.startswith(ERASER + "|")
+    assert trace_of(ERASER, "11", 0) is None
+    # the eraser halts after 2 steps on "11": 3 snapshots exist, not 4
+    assert trace_of(ERASER, "11", 3) is not None
+    assert trace_of(ERASER, "11", 4) is None
+    # a diverging machine has traces of every length
+    assert trace_of(LOOPER, "1", 25) is not None
+
+
+def test_trace_count_and_predicates():
+    assert trace_count(ERASER, "11", fuel=100) == 3
+    assert trace_count(HALTER, "111", fuel=100) == 1
+    assert trace_count(LOOPER, "1", fuel=50) is None
+    assert has_at_least_traces(ERASER, "11", 3)
+    assert not has_at_least_traces(ERASER, "11", 4)
+    assert has_exactly_traces(ERASER, "11", 3)
+    assert not has_exactly_traces(ERASER, "11", 2)
+    assert has_at_least_traces(LOOPER, "1", 100)
+    assert not has_exactly_traces(LOOPER, "1", 5)
+    assert has_at_least_traces(ERASER, "11", 0)
+    assert not has_exactly_traces(ERASER, "11", 0)
+
+
+def test_traces_of_enumerates_prefix_closed_set():
+    traces = list(traces_of(ERASER, "11", max_snapshots=10))
+    assert len(traces) == 3
+    assert len(set(traces)) == 3
+    for count, trace in enumerate(traces, start=1):
+        assert trace == trace_of(ERASER, "11", count)
+
+
+def test_holds_P_matches_generated_traces():
+    for trace in traces_of(ERASER, "1&1", max_snapshots=5):
+        assert holds_P(ERASER, "1&1", trace)
+        assert not holds_P(LOOPER, "1&1", trace)
+        assert not holds_P(ERASER, "11", trace)
+    assert not holds_P(ERASER, "1&1", "garbage")
+    assert not holds_P("111", "1", trace_of(ERASER, "1", 1))  # not a machine word
+
+
+def test_parse_trace_and_extractors():
+    trace = trace_of(PICKY, "&1", 4)
+    parsed = parse_trace(trace)
+    assert parsed == (PICKY, "&1", 4)
+    assert machine_of_trace(trace) == PICKY
+    assert input_of_trace(trace) == "&1"
+    assert machine_of_trace("not a trace") == ""
+    assert input_of_trace("") == ""
+
+
+def test_traces_distinguish_input_words():
+    # the input word is embedded verbatim in the first snapshot, so traces on
+    # different (even blank-padded) inputs are different words
+    t_short = trace_of(HALTER, "1", 1)
+    t_padded = trace_of(HALTER, "1&", 1)
+    assert t_short != t_padded
+    assert input_of_trace(t_short) == "1"
+    assert input_of_trace(t_padded) == "1&"
+
+
+def test_classify_word_partitions():
+    assert classify_word(ERASER) is WordSort.MACHINE
+    assert classify_word("1&1") is WordSort.INPUT
+    assert classify_word("") is WordSort.INPUT
+    assert classify_word(trace_of(ERASER, "1", 1)) is WordSort.TRACE
+    assert classify_word("|||") is WordSort.OTHER
+    assert classify_word("*|") is WordSort.OTHER
+    assert classify_word(ERASER + "|garbage") is WordSort.OTHER
+
+
+def test_is_trace_word_rejects_corrupted_traces():
+    trace = trace_of(ERASER, "11", 2)
+    assert is_trace_word(trace)
+    assert not is_trace_word(trace + "1")
+    assert not is_trace_word(trace[:-1])
+    assert not is_trace_word(LOOPER + "|" + trace.split("|", 1)[1])
+
+
+# --- property-based: P holds exactly for generated traces --------------------
+
+machine_words = st.sampled_from([ERASER, LOOPER, HALTER, PICKY,
+                                 encode_machine(prefix_reader("1&"))])
+input_words = st.text(alphabet="1&", max_size=4)
+
+
+@settings(max_examples=120, deadline=None)
+@given(machine_words, input_words, st.integers(1, 6))
+def test_generated_traces_satisfy_P_property(machine_word, input_word, snapshots):
+    trace = trace_of(machine_word, input_word, snapshots)
+    if trace is None:
+        # the machine halted earlier: the exact count must be below `snapshots`
+        count = trace_count(machine_word, input_word, fuel=snapshots + 2)
+        assert count is not None and count < snapshots
+    else:
+        assert holds_P(machine_word, input_word, trace)
+        assert classify_word(trace) is WordSort.TRACE
+        assert machine_of_trace(trace) == machine_word
+        assert input_of_trace(trace) == input_word
+
+
+@settings(max_examples=80, deadline=None)
+@given(machine_words, input_words, st.integers(1, 5), st.integers(1, 5))
+def test_trace_counts_monotone_property(machine_word, input_word, lower, higher):
+    if lower > higher:
+        lower, higher = higher, lower
+    if has_at_least_traces(machine_word, input_word, higher):
+        assert has_at_least_traces(machine_word, input_word, lower)
