@@ -1,66 +1,92 @@
 #!/usr/bin/env python3
-"""Quickstart: the paper's father/son database, safe and unsafe queries.
+"""Quickstart: the unified Session API on the paper's father/son database.
 
-This example reproduces the opening of the paper: a database scheme with one
-binary relation ``F`` (father/son), the queries ``M(x)`` ("has more than one
-son") and ``G(x, z)`` ("grandfather/grandson"), and the unsafe formulas
-``¬F(x, y)`` and ``M(x) ∨ G(x, z)``.  It answers the safe queries, shows the
-relative-safety decider rejecting the unsafe ones, and demonstrates the
-active-domain effective syntax.
+``repro.connect`` opens a :class:`repro.api.Session` that owns the whole
+compile → analyze → plan → execute pipeline:
+
+* queries are written as relational-calculus **text** and parsed by the
+  session;
+* the **plan** explains which evaluation strategy was chosen and why;
+* the relative-safety guard **rejects** provably infinite answers;
+* a **budget** bounds the Section 1.1 enumeration on queries that might be
+  infinite.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro.domains import EqualityDomain
-from repro.engine import GuardedEngine, QueryEngine
+import repro
+from repro import Budget
 from repro.experiments.corpora import family_schema, family_state
-from repro.experiments.exp01_intro_queries import (
-    grandfather_query,
-    more_than_one_son_query,
-    unsafe_disjunction_query,
-    unsafe_negation_query,
-)
-from repro.logic import print_formula
-from repro.safety import ActiveDomainSyntax, EqualityRelativeSafety
 
 
 def main() -> None:
-    schema = family_schema()
+    # ------------------------------------------------------------------
+    # 1. Connect to the pure-equality domain with the father/son schema.
+    # ------------------------------------------------------------------
+    session = repro.connect(domain="eq", schema=family_schema())
     state = family_state(generations=3, sons_per_father=2)
-    domain = EqualityDomain()
-    engine = QueryEngine(domain, schema)
-    decider = EqualityRelativeSafety(domain)
 
-    print("Database scheme:", schema)
-    print(f"Database state: {state.total_rows()} father/son rows\n")
+    print("Session:", session)
+    print("Database scheme:", session.schema)
+    print(f"Database state: {state.total_rows()} father/son rows")
+    print("Chosen plan:", session.plan().explain())
+    print()
 
+    # Queries are plain calculus text, parsed and validated by the session.
     queries = [
-        ("M(x)  — more than one son", more_than_one_son_query()),
-        ("G(x,z) — grandfather/grandson", grandfather_query()),
-        ("~F(x,y) — unsafe negation", unsafe_negation_query()),
-        ("M(x) | G(x,z) — unsafe disjunction", unsafe_disjunction_query()),
+        ("M(x)  — more than one son",
+         "exists y. exists z. (F(x, y) & F(x, z) & ~(y = z))"),
+        ("G(x,z) — grandfather/grandson",
+         "exists y. (F(x, y) & F(y, z))"),
+        ("~F(x,y) — unsafe negation",
+         "~F(x, y)"),
+        ("M(x) | G(x,z) — unsafe disjunction",
+         "(exists y. exists z. (F(x, y) & F(x, z) & ~(y = z))) "
+         "| (exists y. (F(x, y) & F(y, z)))"),
     ]
 
-    for title, query in queries:
+    for title, text in queries:
         print(f"--- {title}")
-        print("   ", print_formula(query))
-        verdict = decider.decide(query, state)
-        print("    relative safety:", verdict.status.value, "—", verdict.details)
-        if verdict.is_finite:
-            answer = engine.answer_active_domain(query, state)
-            print(f"    answer ({len(answer.relation)} rows):",
-                  sorted(answer.relation)[:6], "..." if len(answer.relation) > 6 else "")
+        print("    text:", text)
+        analysis = session.analyze(text, state)
+        print("    analysis:", analysis.explain())
+        result = session.run(text, state)
+        print("    answer:", result.answer.explain())
+        rows = result.answer.rows()
+        if rows:
+            print("    rows:", list(rows[:6]), "..." if len(rows) > 6 else "")
         print()
 
-    # The effective syntax for this domain: restrict answers to the active domain.
-    syntax = ActiveDomainSyntax(schema)
-    guarded = GuardedEngine(engine, syntax=syntax, safety=decider)
-    unsafe = unsafe_disjunction_query()
-    outcome = guarded.answer(unsafe, state, strategy="active-domain")
-    print("Guarded evaluation of the unsafe disjunction:")
+    # ------------------------------------------------------------------
+    # 2. The effective syntax as an opt-in rewrite: restrict=True maps
+    #    every query into the active-domain syntax, so even the unsafe
+    #    disjunction comes back finite.
+    # ------------------------------------------------------------------
+    restricted = repro.connect(domain="eq", schema=family_schema(), restrict=True)
+    outcome = restricted.run(queries[3][1], state, strategy="auto")
+    print("Guarded evaluation of the unsafe disjunction under restrict=True:")
     print("    query rewritten by the syntax guard:", outcome.rewritten)
-    print("    rows returned:", len(outcome.answer.relation))
+    print("    rows returned:", len(outcome.answer.rows()))
     print("    (the restriction keeps only active-domain tuples, so the answer is finite)")
+    print()
+
+    # ------------------------------------------------------------------
+    # 3. Budgeted enumeration over Presburger arithmetic: no schema needed,
+    #    the Section 1.1 algorithm enumerates the domain itself.
+    # ------------------------------------------------------------------
+    numbers = repro.connect(domain="presburger")
+    finite = numbers.query("x < 5", budget=Budget(max_rows=10, max_candidates=100))
+    print("Presburger, 'x < 5':", finite.explain())
+    print("    rows:", list(finite.rows()))
+
+    rejected = numbers.run("3 < x")
+    print("Presburger, '3 < x' (auto):", rejected.answer.explain())
+
+    exhausted = numbers.query(
+        "3 < x", strategy="enumeration", budget=Budget(max_rows=4, max_candidates=50)
+    )
+    print("Presburger, '3 < x' (forced enumeration):", exhausted.explain())
+    print("    partial rows:", list(exhausted.rows()))
 
 
 if __name__ == "__main__":

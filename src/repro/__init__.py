@@ -17,11 +17,21 @@ The package is organised by subsystem:
 * :mod:`repro.engine` — query answering (Section 1.1 enumeration,
   active-domain evaluation, safety guards);
 * :mod:`repro.experiments` — the experiment harness behind ``benchmarks/``
-  and ``EXPERIMENTS.md``.
+  and ``EXPERIMENTS.md``;
+* :mod:`repro.api` — the public front door: :func:`repro.connect` opens a
+  :class:`~repro.api.Session` owning the compile → analyze → plan → execute
+  pipeline (see ``API.md``).
 """
 
 from . import domains, engine, logic, relational, safety, turing
+from . import api
+from .api import Answer, Budget, Session, connect
+from .domains.registry import available_domains, get_domain
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["logic", "relational", "turing", "domains", "safety", "engine", "__version__"]
+__all__ = [
+    "logic", "relational", "turing", "domains", "safety", "engine", "api",
+    "connect", "Session", "Budget", "Answer", "get_domain", "available_domains",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""The public front door: ``repro.connect`` and the Session pipeline.
+
+See ``API.md`` at the repository root for the full guide.  In short::
+
+    import repro
+
+    session = repro.connect(domain="presburger")
+    answer = session.query("x < 5", budget=repro.Budget(max_rows=10))
+
+The subsystem re-exports everything a caller needs: the session itself, the
+budget, the plan hierarchy, the answer hierarchy, and the domain registry.
+"""
+
+from ..domains.registry import (
+    DomainEntry,
+    UnknownDomainError,
+    available_domains,
+    domain_aliases,
+    get_domain,
+    get_entry,
+    register_domain,
+    resolve_domain_name,
+)
+from ..engine.answers import Answer, FiniteAnswer, InfiniteAnswer, UnknownAnswer
+from ..engine.budget import Budget, BudgetClock
+from ..engine.plans import (
+    STRATEGIES,
+    ActiveDomainPlan,
+    EnumerationPlan,
+    GuardedOutcome,
+    GuardedPlan,
+    Plan,
+)
+from .planner import PlanError, Planner
+from .session import QueryAnalysis, QueryResult, Session, SessionError, connect
+
+__all__ = [
+    "connect", "Session", "SessionError", "QueryAnalysis", "QueryResult",
+    "Planner", "PlanError",
+    "Budget", "BudgetClock",
+    "Plan", "ActiveDomainPlan", "EnumerationPlan", "GuardedPlan",
+    "GuardedOutcome", "STRATEGIES",
+    "Answer", "FiniteAnswer", "InfiniteAnswer", "UnknownAnswer",
+    "DomainEntry", "UnknownDomainError", "register_domain", "get_domain",
+    "get_entry", "resolve_domain_name", "available_domains", "domain_aliases",
+]

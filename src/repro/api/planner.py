@@ -1,0 +1,112 @@
+"""The planner: strategy selection as a first-class, explainable object.
+
+Given a domain (plus optional guards), :class:`Planner` turns a strategy
+request into a concrete :class:`~repro.engine.plans.Plan`:
+
+* ``"auto"`` — the default pipeline: guard with the domain's relative-safety
+  decider / effective syntax when the registry provides one, then evaluate by
+  enumeration (decidable theory) or active-domain semantics (otherwise);
+* ``"guarded"`` — like ``"auto"`` but fails loudly when no guard exists
+  (e.g. the trace domain, Theorems 3.1/3.3);
+* ``"active-domain"`` / ``"enumeration"`` — force a bare strategy, bypassing
+  the guards (useful for studying budget exhaustion on infinite queries).
+
+Every returned plan answers :meth:`~repro.engine.plans.Plan.explain` with the
+reason for the choice.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from ..domains.base import Domain
+from ..engine.budget import Budget
+from ..engine.plans import STRATEGIES, Plan, plan_for_strategy
+from ..relational.state import Element
+from ..safety.effective_syntax import EffectiveSyntax
+from ..safety.relative_safety import RelativeSafetyDecider
+
+__all__ = ["Planner", "PlanError"]
+
+
+class PlanError(ValueError):
+    """Raised when no plan can satisfy the requested strategy."""
+
+
+class Planner:
+    """Choose evaluation plans for one domain / guard configuration."""
+
+    def __init__(
+        self,
+        domain: Domain,
+        *,
+        syntax: Optional[EffectiveSyntax] = None,
+        safety: Optional[RelativeSafetyDecider] = None,
+        finite_is_domain_independent: bool = False,
+    ):
+        self._domain = domain
+        self._syntax = syntax
+        self._safety = safety
+        self._finite_is_di = finite_is_domain_independent
+
+    @property
+    def domain(self) -> Domain:
+        return self._domain
+
+    @property
+    def guarded(self) -> bool:
+        """True iff the planner has at least one guard to install."""
+        return self._syntax is not None or self._safety is not None
+
+    def plan(
+        self,
+        strategy: str = "auto",
+        budget: Optional[Budget] = None,
+        extra_elements: Iterable[Element] = (),
+    ) -> Plan:
+        """The plan for ``strategy``, with its :meth:`explain` filled in."""
+        if strategy not in STRATEGIES:
+            raise PlanError(
+                f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
+        if strategy == "guarded" and not self.guarded:
+            raise PlanError(
+                f"strategy 'guarded' requested, but domain {self._domain.name!r} "
+                "has no registered relative-safety decider or effective syntax "
+                "(for the trace domain this is Theorems 3.1/3.3: neither exists)"
+            )
+        if (
+            strategy in ("auto", "guarded")
+            and self._safety is not None
+            and self._finite_is_di
+        ):
+            # Section 2: over this domain every finite query is
+            # domain-independent, so once the guard certifies finiteness,
+            # active-domain evaluation is exact — and far cheaper than the
+            # Section 1.1 enumeration.
+            from ..engine.plans import ActiveDomainPlan, GuardedPlan
+
+            inner = ActiveDomainPlan(
+                domain=self._domain,
+                budget=budget if budget is not None else Budget(),
+                extra_elements=tuple(extra_elements),
+                reason=f"over {self._domain.name!r} every finite query is "
+                "domain-independent, so active-domain evaluation is exact for "
+                "guard-certified finite queries",
+            )
+            return GuardedPlan(
+                inner=inner,
+                syntax=self._syntax,
+                safety=self._safety,
+                reason=f"relative safety over {self._domain.name!r} is decidable "
+                f"via {self._safety.name!r}, so provably infinite answers are "
+                "rejected before evaluation",
+            )
+        return plan_for_strategy(
+            strategy,
+            self._domain,
+            budget,
+            extra_elements=tuple(extra_elements),
+            syntax=self._syntax,
+            safety=self._safety,
+        )

@@ -22,6 +22,16 @@ from .reach_traces import (
     padded_prefix,
     starts_with_padded,
 )
+from .registry import (
+    DomainEntry,
+    UnknownDomainError,
+    available_domains,
+    domain_aliases,
+    get_domain,
+    get_entry,
+    register_domain,
+    resolve_domain_name,
+)
 from .signature import Signature
 from .successor import (
     SuccessorDomain,
@@ -33,6 +43,8 @@ from .traces_domain import TraceDomain
 
 __all__ = [
     "Signature", "Domain", "DomainError", "TheoryUndecidableError",
+    "DomainEntry", "UnknownDomainError", "register_domain", "get_domain",
+    "get_entry", "resolve_domain_name", "available_domains", "domain_aliases",
     "EqualityDomain",
     "PresburgerDomain", "NaturalOrderDomain", "LinTerm",
     "linearize_term", "eliminate_presburger_quantifiers",

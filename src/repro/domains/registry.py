@@ -1,0 +1,229 @@
+"""The domain registry: domains addressable by name.
+
+Every domain studied in the paper is registered here under a canonical name
+plus convenient aliases, together with factories for the default guards that
+the paper proves correct for it — the relative-safety decider (when relative
+safety is decidable) and the effective syntax (when one exists).  The trace
+domain **T** is registered with *neither*: Theorem 3.1 shows finite queries
+over **T** have no effective syntax, and Theorem 3.3 shows relative safety
+over **T** is undecidable.
+
+``repro.connect(domain="presburger")`` resolves names through this registry;
+third-party domains can join the same namespace via :func:`register_domain`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from .base import Domain
+
+__all__ = [
+    "DomainEntry",
+    "UnknownDomainError",
+    "register_domain",
+    "get_domain",
+    "get_entry",
+    "resolve_domain_name",
+    "available_domains",
+    "domain_aliases",
+]
+
+
+class UnknownDomainError(LookupError):
+    """Raised when a domain name is not in the registry."""
+
+
+@dataclass(frozen=True)
+class DomainEntry:
+    """A registered domain: factory, aliases, and default-guard factories."""
+
+    name: str
+    factory: Callable[[], Domain]
+    aliases: Tuple[str, ...] = ()
+    summary: str = ""
+    #: builds the relative-safety decider proved correct for this domain,
+    #: or ``None`` when relative safety is undecidable (Theorem 3.3)
+    safety_factory: Optional[Callable[[Domain], object]] = None
+    #: builds the effective syntax for the domain's finite queries (takes the
+    #: database schema), or ``None`` when no effective syntax exists
+    #: (Theorem 3.1)
+    syntax_factory: Optional[Callable[[object], object]] = None
+    #: True when every finite query over the domain is domain-independent
+    #: (Section 2: the pure-equality domain).  The planner then answers
+    #: guard-certified finite queries by active-domain evaluation, which is
+    #: exact and far cheaper than enumeration.
+    finite_implies_domain_independent: bool = False
+
+
+_REGISTRY: Dict[str, DomainEntry] = {}
+_ALIASES: Dict[str, str] = {}
+
+
+def _normalise(name: str) -> str:
+    return name.strip().lower()
+
+
+def register_domain(entry: DomainEntry) -> DomainEntry:
+    """Register a domain under its canonical name and aliases."""
+    canonical = _normalise(entry.name)
+    if canonical in _REGISTRY:
+        raise ValueError(f"domain {entry.name!r} is already registered")
+    for alias in (canonical,) + tuple(_normalise(a) for a in entry.aliases):
+        if alias in _ALIASES and _ALIASES[alias] != canonical:
+            raise ValueError(
+                f"alias {alias!r} already points at domain {_ALIASES[alias]!r}"
+            )
+        _ALIASES[alias] = canonical
+    _REGISTRY[canonical] = entry
+    return entry
+
+
+def resolve_domain_name(name: str) -> str:
+    """The canonical name behind ``name`` (which may be an alias)."""
+    canonical = _ALIASES.get(_normalise(name))
+    if canonical is None:
+        known = ", ".join(
+            f"{entry.name!r} (aliases: {', '.join(repr(a) for a in entry.aliases) or 'none'})"
+            for entry in sorted(_REGISTRY.values(), key=lambda e: e.name)
+        )
+        raise UnknownDomainError(
+            f"unknown domain {name!r}; registered domains are: {known}"
+        )
+    return canonical
+
+
+def get_entry(name: str) -> DomainEntry:
+    """The registry entry for ``name`` (canonical name or alias)."""
+    return _REGISTRY[resolve_domain_name(name)]
+
+
+def get_domain(name: str) -> Domain:
+    """A fresh instance of the domain registered under ``name``."""
+    return get_entry(name).factory()
+
+
+def available_domains() -> Tuple[str, ...]:
+    """The canonical names of all registered domains, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def domain_aliases() -> Dict[str, str]:
+    """A copy of the alias table (alias → canonical name)."""
+    return dict(_ALIASES)
+
+
+# ---------------------------------------------------------------------------
+# Built-in domains.  The guard factories import lazily so that importing the
+# registry (from repro.domains.__init__) never races the initialisation of
+# the repro.safety package.
+# ---------------------------------------------------------------------------
+
+
+def _equality_safety(domain: Domain):
+    from ..safety.relative_safety import EqualityRelativeSafety
+
+    return EqualityRelativeSafety(domain)
+
+
+def _ordered_safety(domain: Domain):
+    from ..safety.relative_safety import OrderedRelativeSafety
+
+    return OrderedRelativeSafety(domain)
+
+
+def _successor_safety(domain: Domain):
+    from ..safety.relative_safety import SuccessorRelativeSafety
+
+    return SuccessorRelativeSafety(domain)
+
+
+def _active_domain_syntax(schema):
+    from ..safety.effective_syntax import ActiveDomainSyntax
+
+    return ActiveDomainSyntax(schema)
+
+
+def _finitization_syntax(schema):
+    from ..safety.effective_syntax import FinitizationSyntax
+
+    return FinitizationSyntax()
+
+
+def _finitization_syntax_integers(schema):
+    from ..safety.effective_syntax import FinitizationSyntax
+
+    return FinitizationSyntax(integers=True)
+
+
+def _extended_active_domain_syntax(schema):
+    from ..safety.effective_syntax import ExtendedActiveDomainSyntax
+
+    return ExtendedActiveDomainSyntax(schema)
+
+
+def _register_builtins() -> None:
+    from .equality import EqualityDomain
+    from .nat_order import NaturalOrderDomain
+    from .presburger import PresburgerDomain
+    from .reach_traces import ReachTracesDomain
+    from .successor import SuccessorDomain
+    from .traces_domain import TraceDomain
+
+    register_domain(DomainEntry(
+        name="equality",
+        factory=EqualityDomain,
+        aliases=("eq", "pure-equality"),
+        summary="a countably infinite set with equality only (Section 2)",
+        safety_factory=_equality_safety,
+        syntax_factory=_active_domain_syntax,
+        finite_implies_domain_independent=True,
+    ))
+    register_domain(DomainEntry(
+        name="naturals_with_order",
+        factory=NaturalOrderDomain,
+        aliases=("nat<", "nat_order", "order"),
+        summary="the ordered natural numbers (N, <) (Section 2.1)",
+        safety_factory=_ordered_safety,
+        syntax_factory=_finitization_syntax,
+    ))
+    register_domain(DomainEntry(
+        name="presburger_naturals",
+        factory=PresburgerDomain,
+        aliases=("presburger", "presburger_arithmetic"),
+        summary="Presburger arithmetic over N (a decidable extension of (N, <))",
+        safety_factory=_ordered_safety,
+        syntax_factory=_finitization_syntax,
+    ))
+    register_domain(DomainEntry(
+        name="presburger_integers",
+        factory=lambda: PresburgerDomain(carrier="integers"),
+        aliases=("integers",),
+        summary="Presburger arithmetic over Z",
+        syntax_factory=_finitization_syntax_integers,
+    ))
+    register_domain(DomainEntry(
+        name="naturals_with_successor",
+        factory=SuccessorDomain,
+        aliases=("succ", "successor", "nat'"),
+        summary="the natural numbers with successor (N, ') (Section 2.2)",
+        safety_factory=_successor_safety,
+        syntax_factory=_extended_active_domain_syntax,
+    ))
+    register_domain(DomainEntry(
+        name="traces",
+        factory=TraceDomain,
+        aliases=("trace", "t"),
+        summary="the trace domain T (Section 3): decidable theory, but no "
+        "effective syntax (Thm 3.1) and undecidable relative safety (Thm 3.3)",
+    ))
+    register_domain(DomainEntry(
+        name="reach_traces",
+        factory=ReachTracesDomain,
+        aliases=("reach",),
+        summary="the trace domain with the extended Reach signature (Appendix A)",
+    ))
+
+
+_register_builtins()

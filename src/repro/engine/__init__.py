@@ -1,12 +1,30 @@
-"""Query answering: the Section 1.1 algorithm, active-domain evaluation, guards."""
+"""Query answering: plans, budgets, the Section 1.1 algorithm, guards.
+
+The modern front door is :func:`repro.connect` (see :mod:`repro.api`); the
+``QueryEngine`` / ``GuardedEngine`` classes are retained as compatibility
+shims over the same :class:`~repro.engine.plans.Plan` machinery.
+"""
 
 from .answers import Answer, FiniteAnswer, InfiniteAnswer, UnknownAnswer
+from .budget import Budget, BudgetClock
 from .enumeration import answer_by_enumeration, enumerate_tuples
 from .evaluator import QueryEngine
+from .plans import (
+    STRATEGIES,
+    ActiveDomainPlan,
+    EnumerationPlan,
+    GuardedOutcome,
+    GuardedPlan,
+    Plan,
+    plan_for_strategy,
+)
 from .safety_guard import GuardedEngine, GuardResult
 
 __all__ = [
     "Answer", "FiniteAnswer", "InfiniteAnswer", "UnknownAnswer",
+    "Budget", "BudgetClock",
+    "Plan", "ActiveDomainPlan", "EnumerationPlan", "GuardedPlan",
+    "GuardedOutcome", "plan_for_strategy", "STRATEGIES",
     "answer_by_enumeration", "enumerate_tuples",
     "QueryEngine", "GuardedEngine", "GuardResult",
 ]

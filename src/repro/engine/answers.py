@@ -3,22 +3,61 @@
 The paper's central tension — finite answers are computable over decidable
 domains, but finiteness itself may be undecidable — is reflected in the three
 possible outcomes: a fully materialised finite answer, a certified-infinite
-answer carrying sample witnesses, or an unknown answer when the engine's fuel
-ran out before the question was settled.
+answer carrying sample witnesses, or an unknown answer when the engine's
+budget ran out before the question was settled.
+
+:class:`Answer` is the abstract base of the hierarchy.  Every answer exposes
+
+* ``rows()`` — the materialised rows (the full answer, a sample of an
+  infinite one, or the partial rows found before a budget expired);
+* ``is_finite`` — three-valued finiteness (``True`` / ``False`` / ``None``);
+* ``method`` — the evaluation method that produced it; and
+* ``explain()`` — a human-readable account of what the answer means.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
 
-from ..relational.state import Relation
+from ..relational.state import Relation, Row
 
 __all__ = ["Answer", "FiniteAnswer", "InfiniteAnswer", "UnknownAnswer"]
 
 
+class Answer(ABC):
+    """Abstract base class of the three query outcomes."""
+
+    @property
+    @abstractmethod
+    def method(self) -> str:
+        """The evaluation method that produced this answer."""
+
+    @property
+    @abstractmethod
+    def is_finite(self) -> Optional[bool]:
+        """``True`` / ``False`` when finiteness is settled, ``None`` otherwise."""
+
+    @abstractmethod
+    def rows(self) -> Tuple[Row, ...]:
+        """The materialised rows, sorted."""
+
+    @abstractmethod
+    def explain(self) -> str:
+        """A human-readable account of the answer."""
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows())
+
+    @property
+    def row_count(self) -> int:
+        """The number of materialised rows."""
+        return len(self.rows())
+
+
 @dataclass(frozen=True)
-class FiniteAnswer:
+class FiniteAnswer(Answer):
     """A completely materialised finite answer."""
 
     relation: Relation
@@ -28,12 +67,21 @@ class FiniteAnswer:
     def is_finite(self) -> Optional[bool]:
         return True
 
+    def rows(self) -> Tuple[Row, ...]:
+        return tuple(self.relation)
+
+    def explain(self) -> str:
+        text = f"finite answer with {len(self.relation)} row(s)"
+        if self.method:
+            text += f", computed by {self.method}"
+        return text
+
     def __len__(self) -> int:
         return len(self.relation)
 
 
 @dataclass(frozen=True)
-class InfiniteAnswer:
+class InfiniteAnswer(Answer):
     """The answer is certified infinite; ``sample`` holds finitely many rows of it."""
 
     sample: Relation
@@ -44,9 +92,22 @@ class InfiniteAnswer:
     def is_finite(self) -> Optional[bool]:
         return False
 
+    def rows(self) -> Tuple[Row, ...]:
+        return tuple(self.sample)
+
+    def explain(self) -> str:
+        text = "the answer is infinite"
+        if self.sample:
+            text += f" ({len(self.sample)} sample row(s) materialised)"
+        if self.method:
+            text += f"; certified by {self.method}"
+        if self.reason:
+            text += f": {self.reason}"
+        return text
+
 
 @dataclass(frozen=True)
-class UnknownAnswer:
+class UnknownAnswer(Answer):
     """The engine could not settle the answer within its resource budget."""
 
     partial: Relation
@@ -57,5 +118,16 @@ class UnknownAnswer:
     def is_finite(self) -> Optional[bool]:
         return None
 
+    def rows(self) -> Tuple[Row, ...]:
+        return tuple(self.partial)
 
-Answer = object  # union of the three classes above
+    def explain(self) -> str:
+        text = (
+            f"finiteness undetermined; {len(self.partial)} row(s) found "
+            "before the budget ran out"
+        )
+        if self.method:
+            text += f" (method: {self.method})"
+        if self.reason:
+            text += f": {self.reason}"
+        return text

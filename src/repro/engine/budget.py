@@ -1,0 +1,94 @@
+"""Resource budgets for query answering.
+
+The Section 1.1 enumeration algorithm terminates on finite queries but can
+run forever on infinite ones, and the trace-domain safety checks can only
+*semi*-decide halting.  Every evaluation entry point therefore accepts a
+:class:`Budget` bounding the work it may perform; when a budget is exhausted
+the engine returns an :class:`~repro.engine.answers.UnknownAnswer` instead of
+looping.
+
+``Budget`` replaces the ``max_rows`` / ``max_candidates`` / ``fuel`` keyword
+arguments that used to be threaded separately through the evaluator, the
+enumeration algorithm, and the safety guards.  The old keywords remain
+accepted by the legacy shims for backwards compatibility.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Optional
+
+__all__ = ["Budget", "BudgetClock"]
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Bounds on the work a single query evaluation may perform.
+
+    * ``max_rows`` — answer rows materialised before giving up (the answer
+      may be infinite);
+    * ``max_candidates`` — candidate tuples examined between two answer rows
+      during enumeration;
+    * ``fuel`` — simulation steps granted to fuel-bounded semi-decision of
+      relative safety (the trace domain's ``semi_decide``);
+    * ``time_limit`` — optional wall-clock bound in seconds for
+      enumeration-based evaluation (active-domain evaluation is a single
+      finite pass and is not interruptible).
+    """
+
+    max_rows: int = 1000
+    max_candidates: int = 10_000
+    fuel: int = 10_000
+    time_limit: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for name in ("max_rows", "max_candidates", "fuel"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 0:
+                raise ValueError(f"{name} must be a non-negative integer, got {value!r}")
+        if self.time_limit is not None and self.time_limit < 0:
+            raise ValueError(f"time_limit must be non-negative, got {self.time_limit!r}")
+
+    def start(self) -> "BudgetClock":
+        """Start a wall clock for this budget (a no-op without a time limit)."""
+        return BudgetClock(self)
+
+    def replace(self, **changes) -> "Budget":
+        """A copy of this budget with the given fields changed."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """A one-line human-readable summary of the bounds."""
+        parts = [
+            f"max_rows={self.max_rows}",
+            f"max_candidates={self.max_candidates}",
+            f"fuel={self.fuel}",
+        ]
+        if self.time_limit is not None:
+            parts.append(f"time_limit={self.time_limit}s")
+        return "Budget(" + ", ".join(parts) + ")"
+
+
+class BudgetClock:
+    """A started budget: tracks wall-clock expiry for one evaluation."""
+
+    __slots__ = ("budget", "_deadline")
+
+    def __init__(self, budget: Budget):
+        self.budget = budget
+        if budget.time_limit is None:
+            self._deadline: Optional[float] = None
+        else:
+            self._deadline = time.monotonic() + budget.time_limit
+
+    @property
+    def expired(self) -> bool:
+        """True iff the budget's wall-clock limit has been reached."""
+        return self._deadline is not None and time.monotonic() >= self._deadline
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left on the clock, or ``None`` when there is no time limit."""
+        if self._deadline is None:
+            return None
+        return max(0.0, self._deadline - time.monotonic())

@@ -9,11 +9,12 @@ first a_k that makes the formula F(a_k) true. ... Now take the formula
 ∃x (x ≠ a_k ∧ F'(x)). ... Thus, we just described an algorithm (as inefficient
 as it is) for answering queries."
 
-The implementation below is that algorithm, with two pragmatic additions: a
+The implementation below is that algorithm, with three pragmatic additions: a
 bound on the number of answer rows (so that infinite queries do not loop
 forever — instead an :class:`~repro.engine.answers.UnknownAnswer` is
-returned), and a bound on the number of candidate tuples examined between two
-rows.
+returned), a bound on the number of candidate tuples examined between two
+rows, and an optional wall-clock limit.  All three live in a single
+:class:`~repro.engine.budget.Budget`.
 """
 
 from __future__ import annotations
@@ -30,6 +31,7 @@ from ..logic.terms import Const, Var
 from ..relational.state import DatabaseState, Element, Relation
 from ..relational.translate import expand_database_atoms
 from .answers import Answer, FiniteAnswer, UnknownAnswer
+from .budget import Budget
 
 __all__ = ["enumerate_tuples", "answer_by_enumeration"]
 
@@ -66,14 +68,20 @@ def answer_by_enumeration(
     max_rows: int = 1000,
     max_candidates: int = 10_000,
     free_order: Optional[Sequence[Var]] = None,
+    budget: Optional[Budget] = None,
 ) -> Answer:
     """Answer ``query`` in ``state`` using the Section 1.1 algorithm.
 
     Requires a domain with a decision procedure.  Returns a
     :class:`FiniteAnswer` when the algorithm terminates (which it always does
     for finite queries, given enough budget), and an :class:`UnknownAnswer`
-    carrying the rows found so far when a budget is exhausted.
+    carrying the rows found so far when the budget is exhausted.  ``budget``
+    takes precedence over the legacy ``max_rows`` / ``max_candidates``
+    keywords.
     """
+    if budget is None:
+        budget = Budget(max_rows=max_rows, max_candidates=max_candidates)
+    clock = budget.start()
     pure = expand_database_atoms(query, state)
     if free_order is None:
         variables = sorted(free_variables(pure), key=lambda v: v.name)
@@ -92,14 +100,25 @@ def answer_by_enumeration(
             exclusions.append(neg(row_equalities))
         return conj(pure, *exclusions)
 
-    while len(found) < max_rows:
+    def out_of_time() -> UnknownAnswer:
+        return UnknownAnswer(
+            Relation(arity, found),
+            reason=f"time budget of {budget.time_limit}s exhausted",
+            method="enumeration",
+        )
+
+    while len(found) < budget.max_rows:
+        if clock.expired:
+            return out_of_time()
         remaining = excluded_formula()
         more_exists = exists_many([v.name for v in variables], remaining)
         if not domain.decide(more_exists):
             return FiniteAnswer(Relation(arity, found), method="enumeration")
         # Some further tuple satisfies the query; search for it.
         located = False
-        for candidate in enumerate_tuples(domain, arity, max_candidates):
+        for candidate in enumerate_tuples(domain, arity, budget.max_candidates):
+            if clock.expired:
+                return out_of_time()
             if candidate in found:
                 continue
             instantiated = substitute(
@@ -113,11 +132,11 @@ def answer_by_enumeration(
             return UnknownAnswer(
                 Relation(arity, found),
                 reason=f"a further answer row exists but was not found among the "
-                f"first {max_candidates} candidate tuples",
+                f"first {budget.max_candidates} candidate tuples",
                 method="enumeration",
             )
     return UnknownAnswer(
         Relation(arity, found),
-        reason=f"row budget of {max_rows} exhausted; the answer may be infinite",
+        reason=f"row budget of {budget.max_rows} exhausted; the answer may be infinite",
         method="enumeration",
     )

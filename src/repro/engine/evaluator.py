@@ -1,4 +1,4 @@
-"""The query engine facade.
+"""The legacy query-engine facade (a thin shim over :mod:`repro.engine.plans`).
 
 ``QueryEngine`` answers relational-calculus queries against a database state
 over a chosen domain, picking between the two strategies the paper discusses:
@@ -8,20 +8,28 @@ over a chosen domain, picking between the two strategies the paper discusses:
   the active-domain restriction);
 * **enumeration with the domain's decision procedure** — the Section 1.1
   algorithm, which computes the answer of *any* finite query over a decidable
-  domain, at the price of a fuel budget when the query might be infinite.
+  domain, at the price of a budget when the query might be infinite.
+
+.. deprecated::
+   New code should use :func:`repro.connect` / :class:`repro.api.Session`,
+   which expose the same pipeline with first-class
+   :class:`~repro.engine.plans.Plan` objects and
+   :class:`~repro.engine.budget.Budget` bounds.  This class remains as a
+   compatibility shim; its string ``strategy`` flag and ``max_rows`` /
+   ``max_candidates`` keywords map directly onto plans and budgets.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional
 
-from ..domains.base import Domain, TheoryUndecidableError
+from ..domains.base import Domain
 from ..logic.formulas import Formula
-from ..relational.calculus import evaluate_query_active_domain
 from ..relational.schema import DatabaseSchema
 from ..relational.state import DatabaseState, Element
-from .answers import Answer, FiniteAnswer, UnknownAnswer
-from .enumeration import answer_by_enumeration
+from .answers import Answer, FiniteAnswer
+from .budget import Budget
+from .plans import ActiveDomainPlan, EnumerationPlan, Plan, plan_for_strategy
 
 __all__ = ["QueryEngine"]
 
@@ -43,6 +51,17 @@ class QueryEngine:
         """The database schema states must conform to."""
         return self._schema
 
+    def plan(
+        self,
+        strategy: str = "auto",
+        budget: Optional[Budget] = None,
+        extra_elements: Iterable[Element] = (),
+    ) -> Plan:
+        """The :class:`Plan` this engine would execute for ``strategy``."""
+        return plan_for_strategy(
+            strategy, self._domain, budget, extra_elements=tuple(extra_elements)
+        )
+
     def answer_active_domain(
         self,
         query: Formula,
@@ -50,10 +69,10 @@ class QueryEngine:
         extra_elements: Iterable[Element] = (),
     ) -> FiniteAnswer:
         """Evaluate under active-domain semantics (always finite by construction)."""
-        relation = evaluate_query_active_domain(
-            query, state, interpretation=self._domain, extra_elements=extra_elements
-        )
-        return FiniteAnswer(relation, method="active-domain")
+        plan = ActiveDomainPlan(domain=self._domain, extra_elements=tuple(extra_elements))
+        answer = plan.execute(query, state)
+        assert isinstance(answer, FiniteAnswer)
+        return answer
 
     def answer_by_enumeration(
         self,
@@ -61,20 +80,16 @@ class QueryEngine:
         state: DatabaseState,
         max_rows: int = 1000,
         max_candidates: int = 10_000,
+        budget: Optional[Budget] = None,
     ) -> Answer:
-        """Run the Section 1.1 enumeration algorithm (needs a decidable theory)."""
-        if not self._domain.has_decidable_theory:
-            raise TheoryUndecidableError(
-                f"domain {self._domain.name!r} has no decision procedure; "
-                "enumeration-based answering is unavailable"
-            )
-        return answer_by_enumeration(
-            query,
-            state,
-            self._domain,
-            max_rows=max_rows,
-            max_candidates=max_candidates,
-        )
+        """Run the Section 1.1 enumeration algorithm (needs a decidable theory).
+
+        Raises :class:`~repro.domains.base.TheoryUndecidableError` when the
+        domain has no decision procedure.
+        """
+        if budget is None:
+            budget = Budget(max_rows=max_rows, max_candidates=max_candidates)
+        return EnumerationPlan(domain=self._domain, budget=budget).execute(query, state)
 
     def answer(
         self,
@@ -84,19 +99,18 @@ class QueryEngine:
         max_rows: int = 1000,
         max_candidates: int = 10_000,
         extra_elements: Iterable[Element] = (),
+        budget: Optional[Budget] = None,
     ) -> Answer:
         """Answer ``query`` in ``state`` using the requested strategy.
 
         ``strategy`` is ``"active-domain"``, ``"enumeration"``, or ``"auto"``
         (enumeration when the domain theory is decidable, active-domain
-        semantics otherwise).
+        semantics otherwise).  ``budget`` takes precedence over the legacy
+        ``max_rows`` / ``max_candidates`` keywords.
         """
-        if strategy == "active-domain":
-            return self.answer_active_domain(query, state, extra_elements)
-        if strategy == "enumeration":
-            return self.answer_by_enumeration(query, state, max_rows, max_candidates)
-        if strategy != "auto":
-            raise ValueError(f"unknown strategy {strategy!r}")
-        if self._domain.has_decidable_theory:
-            return self.answer_by_enumeration(query, state, max_rows, max_candidates)
-        return self.answer_active_domain(query, state, extra_elements)
+        if budget is None:
+            budget = Budget(max_rows=max_rows, max_candidates=max_candidates)
+        plan = plan_for_strategy(
+            strategy, self._domain, budget, extra_elements=tuple(extra_elements)
+        )
+        return plan.execute(query, state)

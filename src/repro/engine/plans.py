@@ -1,0 +1,276 @@
+"""First-class query plans.
+
+A :class:`Plan` is an executable strategy object replacing the old
+``strategy: str`` flag of ``QueryEngine.answer``.  The three concrete plans
+mirror the paper's evaluation disciplines:
+
+* :class:`ActiveDomainPlan` — active-domain semantics: quantifiers and answer
+  variables range over the active domain, so every answer is finite by
+  construction (sound and complete for domain-independent queries);
+* :class:`EnumerationPlan` — the Section 1.1 enumeration algorithm, complete
+  for arbitrary finite queries over a domain with a decidable theory, bounded
+  by a :class:`~repro.engine.budget.Budget`;
+* :class:`GuardedPlan` — wraps an inner plan with an effective-syntax
+  restriction and/or a relative-safety check, rejecting provably infinite
+  answers before evaluation starts.
+
+Every plan carries an :meth:`~Plan.explain` describing *why* the strategy was
+chosen (theory decidability, availability of a safety decider, explicit user
+request), so the choice is auditable rather than buried in a string flag.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..domains.base import Domain, TheoryUndecidableError
+from ..logic.analysis import free_variables
+from ..logic.formulas import Formula
+from ..relational.calculus import evaluate_query_active_domain
+from ..relational.state import DatabaseState, Element, Relation
+from ..safety.classes import FinitenessStatus, SafetyVerdict
+from ..safety.effective_syntax import EffectiveSyntax
+from ..safety.relative_safety import RelativeSafetyDecider, RelativeSafetyUndecidable
+from .answers import Answer, FiniteAnswer, InfiniteAnswer
+from .budget import Budget
+
+__all__ = [
+    "Plan",
+    "ActiveDomainPlan",
+    "EnumerationPlan",
+    "GuardedPlan",
+    "GuardedOutcome",
+    "plan_for_strategy",
+    "decide_or_semidecide",
+    "STRATEGIES",
+]
+
+
+def decide_or_semidecide(
+    safety: RelativeSafetyDecider,
+    formula: Formula,
+    state: DatabaseState,
+    fuel: int,
+) -> SafetyVerdict:
+    """Run a relative-safety decider, degrading gracefully.
+
+    When the decider provably cannot decide (Theorem 3.3 — the trace domain),
+    fall back to its fuel-bounded ``semi_decide`` when it has one and the
+    instance fits; otherwise report an UNKNOWN verdict instead of raising, so
+    evaluation can proceed under the budget.
+    """
+    try:
+        return safety.decide(formula, state)
+    except RelativeSafetyUndecidable as error:
+        semi = getattr(safety, "semi_decide", None)
+        if semi is not None:
+            try:
+                return semi(formula, state, fuel=fuel)
+            except (ValueError, RelativeSafetyUndecidable):
+                pass
+        return SafetyVerdict.unknown(
+            method=getattr(safety, "name", "relative-safety"), details=str(error)
+        )
+
+#: the strategy names understood by :func:`plan_for_strategy`
+STRATEGIES = ("auto", "active-domain", "enumeration", "guarded")
+
+
+class Plan(ABC):
+    """An executable query-evaluation strategy."""
+
+    #: short machine-readable strategy name
+    strategy: str = "plan"
+
+    @abstractmethod
+    def execute(self, query: Formula, state: DatabaseState) -> Answer:
+        """Run the plan on ``query`` in ``state``."""
+
+    def explain(self) -> str:
+        """Why this strategy was chosen, and what it will do."""
+        reason = getattr(self, "reason", "")
+        text = f"strategy {self.strategy!r}"
+        if reason:
+            text += f": {reason}"
+        return text
+
+
+@dataclass(frozen=True)
+class ActiveDomainPlan(Plan):
+    """Evaluate under active-domain semantics (always finite by construction)."""
+
+    domain: Domain
+    budget: Budget = field(default_factory=Budget)
+    extra_elements: Tuple[Element, ...] = ()
+    reason: str = "active-domain semantics keeps every answer finite by construction"
+
+    strategy = "active-domain"
+
+    def execute(self, query: Formula, state: DatabaseState) -> Answer:
+        relation = evaluate_query_active_domain(
+            query,
+            state,
+            interpretation=self.domain,
+            extra_elements=self.extra_elements,
+        )
+        return FiniteAnswer(relation, method="active-domain")
+
+
+@dataclass(frozen=True)
+class EnumerationPlan(Plan):
+    """Run the Section 1.1 enumeration algorithm (needs a decidable theory)."""
+
+    domain: Domain
+    budget: Budget = field(default_factory=Budget)
+    reason: str = "the enumeration algorithm answers any finite query exactly"
+
+    strategy = "enumeration"
+
+    def execute(self, query: Formula, state: DatabaseState) -> Answer:
+        if not self.domain.has_decidable_theory:
+            raise TheoryUndecidableError(
+                f"domain {self.domain.name!r} has no decision procedure; "
+                "enumeration-based answering is unavailable"
+            )
+        from .enumeration import answer_by_enumeration
+
+        return answer_by_enumeration(query, state, self.domain, budget=self.budget)
+
+
+@dataclass(frozen=True)
+class GuardedOutcome:
+    """What a guarded execution did: the answer plus the guard's decisions."""
+
+    answer: Answer
+    admitted_query: Formula
+    verdict: Optional[SafetyVerdict] = None
+    rewritten: bool = False
+
+
+@dataclass(frozen=True)
+class GuardedPlan(Plan):
+    """Apply an effective-syntax restriction and/or a relative-safety check,
+    then delegate to an inner plan."""
+
+    inner: Plan
+    syntax: Optional[EffectiveSyntax] = None
+    safety: Optional[RelativeSafetyDecider] = None
+    reason: str = ""
+
+    strategy = "guarded"
+
+    @property
+    def budget(self) -> Budget:
+        return getattr(self.inner, "budget", Budget())
+
+    def run(self, query: Formula, state: DatabaseState) -> GuardedOutcome:
+        """Execute with full guard metadata (verdict, rewriting)."""
+        admitted = query
+        rewritten = False
+        if self.syntax is not None and not self.syntax.contains(query):
+            admitted = self.syntax.restrict(query)
+            rewritten = True
+
+        verdict: Optional[SafetyVerdict] = None
+        if self.safety is not None:
+            verdict = decide_or_semidecide(self.safety, admitted, state, self.budget.fuel)
+            if verdict.status is FinitenessStatus.INFINITE:
+                arity = len(free_variables(admitted))
+                answer = InfiniteAnswer(
+                    Relation(arity, []),
+                    reason="rejected by the relative-safety guard: " + verdict.details,
+                    method=verdict.method,
+                )
+                return GuardedOutcome(answer, admitted, verdict, rewritten)
+
+        return GuardedOutcome(self.inner.execute(admitted, state), admitted, verdict, rewritten)
+
+    def execute(self, query: Formula, state: DatabaseState) -> Answer:
+        return self.run(query, state).answer
+
+    def explain(self) -> str:
+        guards = []
+        if self.syntax is not None:
+            guards.append(f"effective syntax {self.syntax.name!r}")
+        if self.safety is not None:
+            guards.append(f"relative-safety decider {self.safety.name!r}")
+        text = f"strategy 'guarded' ({' + '.join(guards) if guards else 'no guards configured'})"
+        if self.reason:
+            text += f": {self.reason}"
+        return text + "; inner " + self.inner.explain()
+
+
+def plan_for_strategy(
+    strategy: str,
+    domain: Domain,
+    budget: Optional[Budget] = None,
+    *,
+    extra_elements: Tuple[Element, ...] = (),
+    syntax: Optional[EffectiveSyntax] = None,
+    safety: Optional[RelativeSafetyDecider] = None,
+) -> Plan:
+    """Build the :class:`Plan` for a strategy name.
+
+    This is the planner behind the legacy string-flag API.  ``"auto"`` picks
+    enumeration when the domain theory is decidable and active-domain
+    semantics otherwise, and wraps the choice in a :class:`GuardedPlan` when a
+    syntax or safety guard is supplied.
+    """
+    budget = budget if budget is not None else Budget()
+    if strategy == "active-domain":
+        inner: Plan = ActiveDomainPlan(
+            domain=domain,
+            budget=budget,
+            extra_elements=tuple(extra_elements),
+            reason="requested explicitly; every answer is finite by construction",
+        )
+    elif strategy == "enumeration":
+        inner = EnumerationPlan(
+            domain=domain,
+            budget=budget,
+            reason="requested explicitly; requires a decidable domain theory",
+        )
+    elif strategy in ("auto", "guarded"):
+        if domain.has_decidable_theory:
+            inner = EnumerationPlan(
+                domain=domain,
+                budget=budget,
+                reason=f"the first-order theory of {domain.name!r} is decidable, so "
+                "the Section 1.1 enumeration algorithm answers any finite query",
+            )
+        else:
+            inner = ActiveDomainPlan(
+                domain=domain,
+                budget=budget,
+                extra_elements=tuple(extra_elements),
+                reason=f"the theory of {domain.name!r} has no decision procedure; "
+                "falling back to active-domain semantics",
+            )
+    else:
+        raise ValueError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")
+
+    if strategy == "guarded" and syntax is None and safety is None:
+        raise ValueError(
+            "strategy 'guarded' requires an effective syntax and/or a "
+            "relative-safety decider"
+        )
+    if syntax is None and safety is None:
+        return inner
+    if strategy in ("active-domain", "enumeration"):
+        # Explicit single-strategy requests bypass the guards.
+        return inner
+    parts = []
+    if safety is not None:
+        parts.append(
+            f"relative safety over {domain.name!r} is decidable via "
+            f"{safety.name!r}, so provably infinite answers are rejected "
+            "before evaluation"
+        )
+    if syntax is not None:
+        parts.append(
+            f"queries outside the effective syntax {syntax.name!r} are "
+            "restricted to it first"
+        )
+    return GuardedPlan(inner=inner, syntax=syntax, safety=safety, reason="; ".join(parts))

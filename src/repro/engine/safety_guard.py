@@ -1,4 +1,4 @@
-"""Safety-guarded query answering.
+"""Safety-guarded query answering (a thin shim over :class:`GuardedPlan`).
 
 The paper discusses two disciplines for keeping answers finite:
 
@@ -10,20 +10,28 @@ The paper discusses two disciplines for keeping answers finite:
 
 ``GuardedEngine`` packages both disciplines around a
 :class:`~repro.engine.evaluator.QueryEngine`.
+
+.. deprecated::
+   New code should use :func:`repro.connect` / :class:`repro.api.Session`,
+   which install these guards automatically from the domain registry and
+   expose the guard's decisions through first-class
+   :class:`~repro.engine.plans.GuardedPlan` objects.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterable, Optional
 
 from ..logic.formulas import Formula
-from ..relational.state import DatabaseState
-from ..safety.classes import FinitenessStatus, SafetyVerdict
+from ..relational.state import DatabaseState, Element
+from ..safety.classes import SafetyVerdict
 from ..safety.effective_syntax import EffectiveSyntax
 from ..safety.relative_safety import RelativeSafetyDecider
-from .answers import Answer, InfiniteAnswer, UnknownAnswer
+from .answers import Answer
+from .budget import Budget
 from .evaluator import QueryEngine
+from .plans import GuardedPlan, plan_for_strategy
 
 __all__ = ["GuardedEngine", "GuardResult"]
 
@@ -51,41 +59,43 @@ class GuardedEngine:
         self._syntax = syntax
         self._safety = safety
 
+    def plan(
+        self,
+        strategy: str = "auto",
+        budget: Optional[Budget] = None,
+        extra_elements: Iterable[Element] = (),
+    ) -> GuardedPlan:
+        """The :class:`GuardedPlan` this engine would execute."""
+        inner = plan_for_strategy(
+            strategy, self._engine.domain, budget, extra_elements=tuple(extra_elements)
+        )
+        return GuardedPlan(inner=inner, syntax=self._syntax, safety=self._safety)
+
     def answer(
         self,
         query: Formula,
         state: DatabaseState,
         strategy: str = "auto",
+        budget: Optional[Budget] = None,
         **engine_options,
     ) -> GuardResult:
-        """Answer ``query`` after applying the configured guards."""
-        admitted = query
-        rewritten = False
-        if self._syntax is not None and not self._syntax.contains(query):
-            admitted = self._syntax.restrict(query)
-            rewritten = True
+        """Answer ``query`` after applying the configured guards.
 
-        verdict: Optional[SafetyVerdict] = None
-        if self._safety is not None:
-            verdict = self._safety.decide(admitted, state)
-            if verdict.status is FinitenessStatus.INFINITE:
-                from ..relational.state import Relation
-                from ..logic.analysis import free_variables
-
-                arity = len(free_variables(admitted))
-                return GuardResult(
-                    answer=InfiniteAnswer(
-                        Relation(arity, []),
-                        reason="rejected by the relative-safety guard: "
-                        + verdict.details,
-                        method=verdict.method,
-                    ),
-                    admitted_query=admitted,
-                    verdict=verdict,
-                    rewritten=rewritten,
-                )
-
-        answer = self._engine.answer(admitted, state, strategy=strategy, **engine_options)
+        ``budget`` takes precedence over the legacy ``max_rows`` /
+        ``max_candidates`` keywords.
+        """
+        max_rows = engine_options.pop("max_rows", 1000)
+        max_candidates = engine_options.pop("max_candidates", 10_000)
+        if budget is None:
+            budget = Budget(max_rows=max_rows, max_candidates=max_candidates)
+        extra_elements = tuple(engine_options.pop("extra_elements", ()))
+        if engine_options:
+            raise TypeError(f"unknown engine options: {sorted(engine_options)}")
+        plan = self.plan(strategy, budget, extra_elements)
+        outcome = plan.run(query, state)
         return GuardResult(
-            answer=answer, admitted_query=admitted, verdict=verdict, rewritten=rewritten
+            answer=outcome.answer,
+            admitted_query=outcome.admitted_query,
+            verdict=outcome.verdict,
+            rewritten=outcome.rewritten,
         )
