@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Compare two pytest-benchmark JSON files and fail on regressions.
+
+Usage::
+
+    python benchmarks/compare_bench.py BENCH_baseline.json BENCH_pr.json \
+        [--tolerance 1.25]
+
+Benchmarks are matched by their fully-qualified test name.  A benchmark
+regresses when its median run time exceeds ``tolerance`` times the baseline
+median (default 1.25, i.e. >25 % slower, overridable via the
+``BENCH_TOLERANCE`` environment variable).  Benchmarks present in only one
+file are reported but never fail the gate, so adding or retiring benchmarks
+does not break CI.
+
+The exit status is 0 when nothing regressed and 1 otherwise; the summary
+table is always printed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, Tuple
+
+
+def load_medians(path: str) -> Dict[str, float]:
+    """Map fully-qualified benchmark names to median seconds."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    medians: Dict[str, float] = {}
+    for entry in payload.get("benchmarks", []):
+        medians[entry["fullname"]] = float(entry["stats"]["median"])
+    return medians
+
+
+def compare(
+    baseline: Dict[str, float], current: Dict[str, float], tolerance: float
+) -> Tuple[list, list, list]:
+    """Split benchmarks into (regressions, ok, unmatched) triples."""
+    regressions = []
+    ok = []
+    unmatched = []
+    for name in sorted(set(baseline) | set(current)):
+        if name not in baseline or name not in current:
+            side = "baseline" if name in baseline else "current"
+            unmatched.append((name, side))
+            continue
+        before, after = baseline[name], current[name]
+        ratio = after / before if before > 0 else float("inf")
+        record = (name, before, after, ratio)
+        if ratio > tolerance:
+            regressions.append(record)
+        else:
+            ok.append(record)
+    return regressions, ok, unmatched
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_baseline.json")
+    parser.add_argument("current", help="freshly measured BENCH_pr.json")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("BENCH_TOLERANCE", "1.25")),
+        help="fail when current/baseline median exceeds this ratio "
+        "(default 1.25 = 25%% slower; env BENCH_TOLERANCE overrides)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_medians(args.baseline)
+    current = load_medians(args.current)
+    regressions, ok, unmatched = compare(baseline, current, args.tolerance)
+
+    header = f"{'benchmark':<80} {'baseline':>12} {'current':>12} {'ratio':>8}"
+    print(header)
+    print("-" * len(header))
+    for name, before, after, ratio in ok + regressions:
+        flag = "  REGRESSION" if ratio > args.tolerance else ""
+        print(f"{name:<80} {before:>12.6f} {after:>12.6f} {ratio:>8.2f}{flag}")
+    for name, side in unmatched:
+        print(f"{name:<80} (only in {side}; ignored)")
+
+    print(
+        f"\n{len(ok)} ok, {len(regressions)} regression(s), "
+        f"{len(unmatched)} unmatched, tolerance {args.tolerance:.2f}x"
+    )
+    if regressions:
+        print("FAIL: benchmark regression(s) against the committed baseline")
+        return 1
+    print("OK: no benchmark regressed beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

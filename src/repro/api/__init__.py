@@ -23,9 +23,11 @@ from ..domains.registry import (
 )
 from ..engine.answers import Answer, FiniteAnswer, InfiniteAnswer, UnknownAnswer
 from ..engine.budget import Budget, BudgetClock
+from ..engine.plan_cache import PlanCache, PlanCacheInfo
 from ..engine.plans import (
     STRATEGIES,
     ActiveDomainPlan,
+    CompiledAlgebraPlan,
     EnumerationPlan,
     GuardedOutcome,
     GuardedPlan,
@@ -38,8 +40,9 @@ __all__ = [
     "connect", "Session", "SessionError", "QueryAnalysis", "QueryResult",
     "Planner", "PlanError",
     "Budget", "BudgetClock",
-    "Plan", "ActiveDomainPlan", "EnumerationPlan", "GuardedPlan",
-    "GuardedOutcome", "STRATEGIES",
+    "Plan", "ActiveDomainPlan", "CompiledAlgebraPlan", "EnumerationPlan",
+    "GuardedPlan", "GuardedOutcome", "STRATEGIES",
+    "PlanCache", "PlanCacheInfo",
     "Answer", "FiniteAnswer", "InfiniteAnswer", "UnknownAnswer",
     "DomainEntry", "UnknownDomainError", "register_domain", "get_domain",
     "get_entry", "resolve_domain_name", "available_domains", "domain_aliases",

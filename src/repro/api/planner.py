@@ -8,8 +8,9 @@ request into a concrete :class:`~repro.engine.plans.Plan`:
   enumeration (decidable theory) or active-domain semantics (otherwise);
 * ``"guarded"`` — like ``"auto"`` but fails loudly when no guard exists
   (e.g. the trace domain, Theorems 3.1/3.3);
-* ``"active-domain"`` / ``"enumeration"`` — force a bare strategy, bypassing
-  the guards (useful for studying budget exhaustion on infinite queries).
+* ``"active-domain"`` / ``"compiled"`` / ``"enumeration"`` — force a bare
+  strategy, bypassing the guards (useful for studying budget exhaustion on
+  infinite queries, or for benchmarking the compiled backend directly).
 
 Every returned plan answers :meth:`~repro.engine.plans.Plan.explain` with the
 reason for the choice.
@@ -17,10 +18,11 @@ reason for the choice.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+from typing import Iterable, Optional
 
 from ..domains.base import Domain
 from ..engine.budget import Budget
+from ..engine.plan_cache import PlanCache
 from ..engine.plans import STRATEGIES, Plan, plan_for_strategy
 from ..relational.state import Element
 from ..safety.effective_syntax import EffectiveSyntax
@@ -43,11 +45,15 @@ class Planner:
         syntax: Optional[EffectiveSyntax] = None,
         safety: Optional[RelativeSafetyDecider] = None,
         finite_is_domain_independent: bool = False,
+        supports_compiled_algebra: bool = False,
+        plan_cache: Optional[PlanCache] = None,
     ):
         self._domain = domain
         self._syntax = syntax
         self._safety = safety
         self._finite_is_di = finite_is_domain_independent
+        self._compilable = supports_compiled_algebra
+        self._plan_cache = plan_cache
 
     @property
     def domain(self) -> Domain:
@@ -83,17 +89,31 @@ class Planner:
             # Section 2: over this domain every finite query is
             # domain-independent, so once the guard certifies finiteness,
             # active-domain evaluation is exact — and far cheaper than the
-            # Section 1.1 enumeration.
-            from ..engine.plans import ActiveDomainPlan, GuardedPlan
+            # Section 1.1 enumeration.  When the domain additionally supports
+            # the compiled relational-algebra backend, prefer it: same
+            # active-domain answer, computed set-at-a-time.
+            from ..engine.plans import ActiveDomainPlan, CompiledAlgebraPlan, GuardedPlan
 
-            inner = ActiveDomainPlan(
-                domain=self._domain,
-                budget=budget if budget is not None else Budget(),
-                extra_elements=tuple(extra_elements),
-                reason=f"over {self._domain.name!r} every finite query is "
-                "domain-independent, so active-domain evaluation is exact for "
-                "guard-certified finite queries",
-            )
+            if self._compilable:
+                inner: Plan = CompiledAlgebraPlan(
+                    domain=self._domain,
+                    budget=budget if budget is not None else Budget(),
+                    extra_elements=tuple(extra_elements),
+                    cache=self._plan_cache,
+                    reason=f"over {self._domain.name!r} every finite query is "
+                    "domain-independent, so guard-certified queries are "
+                    "answered by the compiled relational-algebra backend "
+                    "(set-at-a-time, exact)",
+                )
+            else:
+                inner = ActiveDomainPlan(
+                    domain=self._domain,
+                    budget=budget if budget is not None else Budget(),
+                    extra_elements=tuple(extra_elements),
+                    reason=f"over {self._domain.name!r} every finite query is "
+                    "domain-independent, so active-domain evaluation is exact for "
+                    "guard-certified finite queries",
+                )
             return GuardedPlan(
                 inner=inner,
                 syntax=self._syntax,
@@ -109,4 +129,5 @@ class Planner:
             extra_elements=tuple(extra_elements),
             syntax=self._syntax,
             safety=self._safety,
+            cache=self._plan_cache,
         )

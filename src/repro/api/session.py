@@ -31,12 +31,13 @@ from dataclasses import dataclass
 from typing import Iterable, Optional, Tuple, Union
 
 from ..domains.base import Domain
-from ..domains.registry import DomainEntry, get_entry, resolve_domain_name
+from ..domains.registry import DomainEntry, get_entry
 from ..engine.answers import Answer
 from ..engine.budget import Budget
+from ..engine.plan_cache import PlanCache, PlanCacheInfo
 from ..engine.plans import GuardedPlan, Plan, decide_or_semidecide
 from ..logic.analysis import free_variables, functions_of, predicates_of
-from ..logic.formulas import Formula
+from ..logic.formulas import Atom, Formula, walk_formulas
 from ..logic.parser import ParseError, parse_formula
 from ..relational.schema import DatabaseSchema
 from ..relational.state import DatabaseState, Element
@@ -115,6 +116,7 @@ class Session:
         safety: Optional[RelativeSafetyDecider] = None,
         guard: bool = True,
         restrict: bool = False,
+        plan_cache_size: int = 128,
     ):
         entry: Optional[DomainEntry] = None
         if isinstance(domain, str):
@@ -151,6 +153,10 @@ class Session:
                 syntax = entry.syntax_factory(self._schema)
         self._safety = safety if guard else None
         self._syntax = syntax if guard else None
+        # The plan cache makes repeated queries skip calculus→algebra
+        # compilation; it is keyed by (formula, schema fingerprint, domain),
+        # so states may vary freely between calls.
+        self._plan_cache = PlanCache(maxsize=plan_cache_size)
         self._planner = Planner(
             self._domain,
             syntax=self._syntax,
@@ -158,6 +164,10 @@ class Session:
             finite_is_domain_independent=(
                 entry is not None and entry.finite_implies_domain_independent
             ),
+            supports_compiled_algebra=(
+                entry is not None and entry.supports_compiled_algebra
+            ),
+            plan_cache=self._plan_cache,
         )
 
     # -- introspection -------------------------------------------------------
@@ -186,6 +196,15 @@ class Session:
     def syntax(self) -> Optional[EffectiveSyntax]:
         """The effective syntax guarding this session, if any."""
         return self._syntax
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The session's LRU cache of compiled algebra plans."""
+        return self._plan_cache
+
+    def plan_cache_info(self) -> PlanCacheInfo:
+        """Hit/miss/eviction counters for the compiled-plan cache."""
+        return self._plan_cache.info()
 
     def __repr__(self) -> str:
         return (
@@ -225,6 +244,20 @@ class Session:
                 f"unknown function(s) {', '.join(map(repr, unknown_functions))}; "
                 f"domain functions: {sorted(self._domain.signature.functions)!r}"
             )
+        for sub in walk_formulas(formula):
+            if not isinstance(sub, Atom):
+                continue
+            if sub.predicate in self._schema:
+                expected = self._schema.arity(sub.predicate)
+            elif self._domain.signature.has_predicate(sub.predicate):
+                expected = self._domain.signature.predicate_arity(sub.predicate)
+            else:
+                continue
+            if len(sub.args) != expected:
+                raise SessionError(
+                    f"predicate {sub.predicate!r} expects {expected} "
+                    f"argument(s), got {len(sub.args)} in {sub}"
+                )
         return formula
 
     # -- pipeline stage 2: analyze ------------------------------------------
@@ -369,6 +402,7 @@ def connect(
     ``"presburger"``, ``"succ"``, ``"traces"``, ...) or a
     :class:`~repro.domains.base.Domain` instance; ``schema`` defaults to the
     empty schema (pure domain queries).  Keyword options are forwarded to
-    :class:`Session` (``budget``, ``syntax``, ``safety``, ``guard``).
+    :class:`Session` (``budget``, ``syntax``, ``safety``, ``guard``,
+    ``restrict``, ``plan_cache_size``).
     """
     return Session(domain, schema, **options)

@@ -55,6 +55,12 @@ class DomainEntry:
     #: guard-certified finite queries by active-domain evaluation, which is
     #: exact and far cheaper than enumeration.
     finite_implies_domain_independent: bool = False
+    #: True when the domain's predicate atoms can be evaluated pointwise, so
+    #: queries compile to relational algebra
+    #: (:mod:`repro.relational.compile`) and active-domain evaluation runs
+    #: set-at-a-time.  Function-heavy domains (e.g. ``(N, ')``, whose queries
+    #: lean on ``succ`` terms) leave this off and keep the tree walker.
+    supports_compiled_algebra: bool = False
 
 
 _REGISTRY: Dict[str, DomainEntry] = {}
@@ -179,6 +185,7 @@ def _register_builtins() -> None:
         safety_factory=_equality_safety,
         syntax_factory=_active_domain_syntax,
         finite_implies_domain_independent=True,
+        supports_compiled_algebra=True,
     ))
     register_domain(DomainEntry(
         name="naturals_with_order",
@@ -187,6 +194,7 @@ def _register_builtins() -> None:
         summary="the ordered natural numbers (N, <) (Section 2.1)",
         safety_factory=_ordered_safety,
         syntax_factory=_finitization_syntax,
+        supports_compiled_algebra=True,
     ))
     register_domain(DomainEntry(
         name="presburger_naturals",
@@ -195,6 +203,7 @@ def _register_builtins() -> None:
         summary="Presburger arithmetic over N (a decidable extension of (N, <))",
         safety_factory=_ordered_safety,
         syntax_factory=_finitization_syntax,
+        supports_compiled_algebra=True,
     ))
     register_domain(DomainEntry(
         name="presburger_integers",
@@ -202,6 +211,7 @@ def _register_builtins() -> None:
         aliases=("integers",),
         summary="Presburger arithmetic over Z",
         syntax_factory=_finitization_syntax_integers,
+        supports_compiled_algebra=True,
     ))
     register_domain(DomainEntry(
         name="naturals_with_successor",

@@ -9,9 +9,11 @@ from .answers import Answer, FiniteAnswer, InfiniteAnswer, UnknownAnswer
 from .budget import Budget, BudgetClock
 from .enumeration import answer_by_enumeration, enumerate_tuples
 from .evaluator import QueryEngine
+from .plan_cache import PlanCache, PlanCacheInfo
 from .plans import (
     STRATEGIES,
     ActiveDomainPlan,
+    CompiledAlgebraPlan,
     EnumerationPlan,
     GuardedOutcome,
     GuardedPlan,
@@ -23,8 +25,9 @@ from .safety_guard import GuardedEngine, GuardResult
 __all__ = [
     "Answer", "FiniteAnswer", "InfiniteAnswer", "UnknownAnswer",
     "Budget", "BudgetClock",
-    "Plan", "ActiveDomainPlan", "EnumerationPlan", "GuardedPlan",
-    "GuardedOutcome", "plan_for_strategy", "STRATEGIES",
+    "Plan", "ActiveDomainPlan", "CompiledAlgebraPlan", "EnumerationPlan",
+    "GuardedPlan", "GuardedOutcome", "plan_for_strategy", "STRATEGIES",
+    "PlanCache", "PlanCacheInfo",
     "answer_by_enumeration", "enumerate_tuples",
     "QueryEngine", "GuardedEngine", "GuardResult",
 ]

@@ -1,0 +1,98 @@
+"""An LRU cache for compiled query plans.
+
+Compiling a calculus query into an algebra plan
+(:func:`repro.relational.compile.compile_query`) walks the whole formula;
+for repeated queries — the common case for a long-lived
+:class:`~repro.api.session.Session` — that work is pure overhead, because a
+:class:`~repro.relational.compile.CompiledQuery` is immutable and
+state-independent (the active domain is resolved at execution time).
+
+The cache key is ``(formula, schema fingerprint, domain name)``: formulas
+and schemas are frozen, hashable dataclasses, so the fingerprint is simply
+the pair itself, and a schema change (or a different domain) can never serve
+a stale plan.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable, Optional
+
+__all__ = ["PlanCache", "PlanCacheInfo"]
+
+
+@dataclass(frozen=True)
+class PlanCacheInfo:
+    """A point-in-time snapshot of cache effectiveness."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+    def __str__(self) -> str:
+        return (
+            f"hits={self.hits} misses={self.misses} evictions={self.evictions} "
+            f"size={self.size}/{self.maxsize}"
+        )
+
+
+class PlanCache:
+    """A small LRU map from (formula, schema, domain) keys to compiled plans."""
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize < 0:
+            raise ValueError(f"maxsize must be non-negative, got {maxsize!r}")
+        self._maxsize = maxsize
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def maxsize(self) -> int:
+        return self._maxsize
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached value for ``key`` (refreshing its recency), or ``None``."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert ``value`` under ``key``, evicting the least recently used."""
+        if self._maxsize == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self._maxsize:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (the counters survive)."""
+        self._entries.clear()
+
+    def info(self) -> PlanCacheInfo:
+        """Hit/miss/eviction counters and current occupancy."""
+        return PlanCacheInfo(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            size=len(self._entries),
+            maxsize=self._maxsize,
+        )

@@ -29,16 +29,19 @@ from ..domains.base import Domain, TheoryUndecidableError
 from ..logic.analysis import free_variables
 from ..logic.formulas import Formula
 from ..relational.calculus import evaluate_query_active_domain
+from ..relational.compile import CompilationError, CompiledQuery, compile_query
 from ..relational.state import DatabaseState, Element, Relation
 from ..safety.classes import FinitenessStatus, SafetyVerdict
 from ..safety.effective_syntax import EffectiveSyntax
 from ..safety.relative_safety import RelativeSafetyDecider, RelativeSafetyUndecidable
 from .answers import Answer, FiniteAnswer, InfiniteAnswer
 from .budget import Budget
+from .plan_cache import PlanCache
 
 __all__ = [
     "Plan",
     "ActiveDomainPlan",
+    "CompiledAlgebraPlan",
     "EnumerationPlan",
     "GuardedPlan",
     "GuardedOutcome",
@@ -75,7 +78,7 @@ def decide_or_semidecide(
         )
 
 #: the strategy names understood by :func:`plan_for_strategy`
-STRATEGIES = ("auto", "active-domain", "enumeration", "guarded")
+STRATEGIES = ("auto", "active-domain", "compiled", "enumeration", "guarded")
 
 
 class Plan(ABC):
@@ -116,6 +119,86 @@ class ActiveDomainPlan(Plan):
             extra_elements=self.extra_elements,
         )
         return FiniteAnswer(relation, method="active-domain")
+
+
+@dataclass(eq=False)
+class CompiledAlgebraPlan(Plan):
+    """Compile to relational algebra and execute set-at-a-time.
+
+    Computes exactly the same active-domain answer as
+    :class:`ActiveDomainPlan`, but via the
+    :mod:`repro.relational.compile` → :mod:`repro.relational.exec` pipeline
+    (hash joins, antijoins, selection pushdown) instead of tuple-at-a-time
+    tree walking.  When compilation bails (function symbols, exotic terms)
+    the plan falls back to the tree-walking evaluator transparently and
+    :meth:`explain` records why.
+    """
+
+    domain: Domain
+    budget: Budget = field(default_factory=Budget)
+    extra_elements: Tuple[Element, ...] = ()
+    cache: Optional[PlanCache] = None
+    reason: str = (
+        "the query compiles to relational algebra, so it is answered "
+        "set-at-a-time with hash joins instead of tuple-at-a-time tree walking"
+    )
+    #: why the last execution fell back to the tree walker, if it did
+    fallback_reason: Optional[str] = None
+    #: operator census of the last compiled plan, for explain()
+    last_summary: Optional[str] = None
+
+    strategy = "compiled-algebra"
+
+    def execute(self, query: Formula, state: DatabaseState) -> Answer:
+        try:
+            compiled = self._compiled(query, state)
+        except CompilationError as error:
+            self.fallback_reason = str(error)
+            self.last_summary = None
+            relation = evaluate_query_active_domain(
+                query,
+                state,
+                interpretation=self.domain,
+                extra_elements=self.extra_elements,
+            )
+            return FiniteAnswer(relation, method="active-domain")
+        self.fallback_reason = None
+        self.last_summary = compiled.summary()
+        relation = compiled.execute(state, self.domain, self.extra_elements)
+        return FiniteAnswer(relation, method="compiled-algebra")
+
+    def _compiled(self, query: Formula, state: DatabaseState) -> CompiledQuery:
+        """Compile ``query`` for the state's schema, via the cache if present.
+
+        Compilation *failures* are cached too (as the raised error), so a hot
+        loop over a non-compilable query pays the formula walk only once.
+        """
+        if self.cache is None:
+            return compile_query(query, state.schema, self.domain)
+        key = (query, state.schema, self.domain.name)
+        cached = self.cache.get(key)
+        if cached is None:
+            try:
+                cached = compile_query(query, state.schema, self.domain)
+            except CompilationError as error:
+                cached = error
+            self.cache.put(key, cached)
+        if isinstance(cached, CompilationError):
+            raise cached
+        return cached
+
+    def explain(self) -> str:
+        text = f"strategy {self.strategy!r}: {self.reason}"
+        if self.last_summary:
+            text += f" (last plan: {self.last_summary})"
+        if self.fallback_reason:
+            text += (
+                "; fell back to the tree-walking active-domain evaluator: "
+                + self.fallback_reason
+            )
+        if self.cache is not None:
+            text += f"; plan cache {self.cache.info()}"
+        return text
 
 
 @dataclass(frozen=True)
@@ -210,6 +293,7 @@ def plan_for_strategy(
     extra_elements: Tuple[Element, ...] = (),
     syntax: Optional[EffectiveSyntax] = None,
     safety: Optional[RelativeSafetyDecider] = None,
+    cache: Optional[PlanCache] = None,
 ) -> Plan:
     """Build the :class:`Plan` for a strategy name.
 
@@ -225,6 +309,15 @@ def plan_for_strategy(
             budget=budget,
             extra_elements=tuple(extra_elements),
             reason="requested explicitly; every answer is finite by construction",
+        )
+    elif strategy == "compiled":
+        inner = CompiledAlgebraPlan(
+            domain=domain,
+            budget=budget,
+            extra_elements=tuple(extra_elements),
+            cache=cache,
+            reason="requested explicitly; compiles to relational algebra and "
+            "falls back to tree walking when compilation bails",
         )
     elif strategy == "enumeration":
         inner = EnumerationPlan(
@@ -258,7 +351,7 @@ def plan_for_strategy(
         )
     if syntax is None and safety is None:
         return inner
-    if strategy in ("active-domain", "enumeration"):
+    if strategy in ("active-domain", "compiled", "enumeration"):
         # Explicit single-strategy requests bypass the guards.
         return inner
     parts = []

@@ -25,6 +25,8 @@ from .calculus import (
     evaluate_query_active_domain,
     evaluate_term,
 )
+from .compile import CompilationError, CompiledQuery, compile_query
+from .exec import plan_summary, run_plan
 from .schema import DatabaseSchema, RelationSchema
 from .state import DatabaseState, Element, Relation, Row
 from .translate import (
@@ -43,4 +45,6 @@ __all__ = [
     "expand_database_atoms", "is_pure_domain_formula", "database_predicates_in",
     "Interpretation", "evaluate_term", "evaluate_formula", "evaluate_query",
     "evaluate_query_active_domain",
+    "CompilationError", "CompiledQuery", "compile_query",
+    "run_plan", "plan_summary",
 ]

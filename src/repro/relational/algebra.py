@@ -10,7 +10,7 @@ that is evaluated against a :class:`~repro.relational.state.DatabaseState`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Sequence, Tuple
+from typing import Callable, Dict, Tuple
 
 from .state import DatabaseState, Element, Relation, Row
 

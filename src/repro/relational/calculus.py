@@ -19,7 +19,7 @@ are looked up in the state.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Sequence
 
 from ..logic.analysis import free_variables
 from ..logic.formulas import (

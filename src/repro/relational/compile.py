@@ -1,0 +1,410 @@
+"""Compilation of relational-calculus queries into executable algebra plans.
+
+This is the set-level reading of the paper's Section 1.1 query-answering
+story: a safe calculus query is not a recipe for testing candidate tuples one
+at a time but a finite relational object, and it can be *computed* as one.
+The compiler turns a formula into the operator IR of
+:mod:`repro.relational.exec` under **active-domain semantics** — the same
+semantics as :func:`repro.relational.calculus.evaluate_query_active_domain`,
+so for guard-certified (finite, domain-independent) queries the compiled
+answer is exact:
+
+* database atoms become fused scans (constant and repeated-variable filters
+  applied in the same pass);
+* conjunctions become n-ary hash joins, with equality and domain-predicate
+  conjuncts pushed down onto the deepest operator that binds them;
+* negated conjuncts become antijoins, and bare negation becomes set
+  difference against an active-domain power;
+* existentials become projections, universals the classical ``¬∃¬`` double
+  difference, and disjunctions unions padded to a common attribute list.
+
+Compilation is deliberately partial: formulas using domain *function*
+symbols (e.g. ``succ(x)``) or unknown predicates raise
+:class:`CompilationError`, and callers fall back to the tree-walking
+evaluator.  A :class:`CompiledQuery` is immutable and state-independent
+(the active domain is resolved at execution time), which is what makes it
+cacheable across repeated queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..logic.analysis import free_variables, functions_of
+from ..logic.formulas import (
+    And,
+    Atom,
+    Bottom,
+    Equals,
+    Exists,
+    ForAll,
+    Formula,
+    Iff,
+    Implies,
+    Not,
+    Or,
+    Top,
+    walk_formulas,
+)
+from ..logic.substitution import rename_bound_variables
+from ..logic.terms import Const, Term, Var
+from .active_domain import active_domain
+from .exec import (
+    AdomScan,
+    AntiJoin,
+    AttrRef,
+    Comparison,
+    Condition,
+    ConstRef,
+    CrossPad,
+    DomainCondition,
+    Join,
+    Literal,
+    PlanNode,
+    Project,
+    Scan,
+    Select,
+    UnionAll,
+    ValueRef,
+    plan_summary,
+    run_plan,
+)
+from .schema import DatabaseSchema
+from .state import DatabaseState, Element, Relation
+
+__all__ = ["CompilationError", "CompiledQuery", "compile_query"]
+
+_UNIT = Literal((), ((),))
+
+
+class CompilationError(ValueError):
+    """Raised when a query has no algebra translation; callers fall back."""
+
+
+@dataclass(frozen=True)
+class CompiledQuery:
+    """An executable algebra plan for one formula over one schema."""
+
+    formula: Formula
+    #: output attribute order: the free variables, sorted by name (the same
+    #: column order the tree-walking evaluator uses)
+    output: Tuple[str, ...]
+    plan: PlanNode
+
+    def execute(
+        self,
+        state: DatabaseState,
+        domain,
+        extra_elements: Iterable[Element] = (),
+    ) -> Relation:
+        """Run the plan under active-domain semantics in ``state``."""
+        universe = set(active_domain(state, self.formula)) | set(extra_elements)
+        rows = run_plan(self.plan, state, sorted(universe, key=repr), domain)
+        return Relation(len(self.output), rows)
+
+    def summary(self) -> str:
+        """A compact census of the plan's operators."""
+        return plan_summary(self.plan)
+
+
+def compile_query(
+    formula: Formula,
+    schema: DatabaseSchema,
+    domain,
+) -> CompiledQuery:
+    """Compile ``formula`` into an algebra plan over ``schema``.
+
+    ``domain`` supplies the predicate signature (checked at compile time) and
+    the evaluation of domain atoms (at run time).  Raises
+    :class:`CompilationError` when the formula uses function symbols or
+    predicates that are neither database relations nor domain predicates.
+    """
+    functions = sorted(functions_of(formula))
+    if functions:
+        raise CompilationError(
+            f"function symbol(s) {', '.join(map(repr, functions))} have no "
+            "algebra translation; only relational atoms compile"
+        )
+    signature = getattr(domain, "signature", None)
+    for sub in walk_formulas(formula):
+        if isinstance(sub, Atom) and sub.predicate not in schema:
+            if signature is None or not signature.has_predicate(sub.predicate):
+                raise CompilationError(
+                    f"predicate {sub.predicate!r} is neither a database "
+                    "relation nor a domain predicate"
+                )
+    compiler = _Compiler(schema)
+    root = compiler.compile(rename_bound_variables(formula))
+    output = tuple(sorted(v.name for v in free_variables(formula)))
+    return CompiledQuery(formula, output, _align(root, output))
+
+
+# ---------------------------------------------------------------------------
+# The compiler
+# ---------------------------------------------------------------------------
+
+
+def _fv(formula: Formula) -> Set[str]:
+    return {v.name for v in free_variables(formula)}
+
+
+def _align(node: PlanNode, attrs: Sequence[str]) -> PlanNode:
+    attrs = tuple(attrs)
+    return node if node.attrs == attrs else Project(node, attrs)
+
+
+def _term_ref(term: Term) -> ValueRef:
+    if isinstance(term, Var):
+        return AttrRef(term.name)
+    if isinstance(term, Const):
+        return ConstRef(term.value)
+    raise CompilationError(f"term {term!r} has no algebra translation")
+
+
+class _Compiler:
+    def __init__(self, schema: DatabaseSchema) -> None:
+        self._schema = schema
+
+    def compile(self, formula: Formula) -> PlanNode:
+        """A plan whose attribute set is exactly the formula's free variables."""
+        if isinstance(formula, And):
+            return self._conjunction(_flatten_and(formula))
+        if isinstance(formula, Or):
+            return self._disjunction(formula)
+        if isinstance(formula, Exists):
+            return self._exists(formula)
+        if isinstance(formula, ForAll):
+            return self.compile(Not(Exists(formula.var, Not(formula.body))))
+        if isinstance(formula, Implies):
+            return self.compile(Or((Not(formula.antecedent), formula.consequent)))
+        if isinstance(formula, Iff):
+            return self.compile(Or((
+                And((formula.left, formula.right)),
+                And((Not(formula.left), Not(formula.right))),
+            )))
+        return self._conjunction([formula])
+
+    # -- quantifiers and disjunction ----------------------------------------
+
+    def _exists(self, formula: Exists) -> PlanNode:
+        inner = self.compile(formula.body)
+        if formula.var in inner.attrs:
+            return Project(
+                inner, tuple(a for a in inner.attrs if a != formula.var)
+            )
+        # Vacuous quantifier: under active-domain semantics it still requires
+        # a witness, so an empty universe makes the formula false.
+        witness = Project(AdomScan((formula.var,)), ())
+        return Join((inner, witness), inner.attrs)
+
+    def _disjunction(self, formula: Or) -> PlanNode:
+        target = tuple(sorted(_fv(formula)))
+        parts = []
+        for disjunct in formula.disjuncts:
+            node = self.compile(disjunct)
+            missing = tuple(a for a in target if a not in node.attrs)
+            if missing:
+                node = CrossPad(node, missing, node.attrs + missing)
+            parts.append(_align(node, target))
+        return UnionAll(tuple(parts), target)
+
+    # -- conjunctions (the workhorse) ---------------------------------------
+
+    def _conjunction(self, conjuncts: Sequence[Formula]) -> PlanNode:
+        generators: List[PlanNode] = []
+        #: (condition, attribute names it needs bound)
+        deferred: List[Tuple[Condition, Set[str]]] = []
+        #: plans for negated conjuncts, applied as antijoins
+        antijoins: List[PlanNode] = []
+        #: variables that must range over the active domain (e.g. from x = x)
+        required: Set[str] = set()
+        #: positive var = const equations, turned into literal generators when
+        #: nothing else binds the variable
+        anchors: List[Tuple[str, Element]] = []
+
+        for conjunct in conjuncts:
+            self._gather(conjunct, generators, deferred, antijoins, required, anchors)
+
+        bound: Set[str] = set()
+        for generator in generators:
+            bound |= set(generator.attrs)
+        for name, value in anchors:
+            if name in bound:
+                deferred.append((Comparison(AttrRef(name), ConstRef(value)), {name}))
+            else:
+                generators.append(Literal((name,), ((value,),)))
+                bound.add(name)
+
+        # Selection pushdown: attach each condition to the first generator
+        # that already binds everything it needs.
+        leftover: List[Tuple[Condition, Set[str]]] = []
+        for condition, needed in deferred:
+            for index, generator in enumerate(generators):
+                if needed <= set(generator.attrs):
+                    generators[index] = _fuse_select(generator, condition)
+                    break
+            else:
+                leftover.append((condition, needed))
+
+        if not generators:
+            current: PlanNode = _UNIT
+        elif len(generators) == 1:
+            current = generators[0]
+        else:
+            seen: List[str] = []
+            for generator in generators:
+                for attr in generator.attrs:
+                    if attr not in seen:
+                        seen.append(attr)
+            current = Join(tuple(generators), tuple(seen))
+
+        missing: Set[str] = set(required)
+        for _, needed in leftover:
+            missing |= needed
+        for negated in antijoins:
+            missing |= set(negated.attrs)
+        missing -= set(current.attrs)
+        if missing:
+            pad = tuple(sorted(missing))
+            current = CrossPad(current, pad, current.attrs + pad)
+        if leftover:
+            current = Select(
+                current, tuple(condition for condition, _ in leftover), current.attrs
+            )
+        for negated in antijoins:
+            current = AntiJoin(current, negated, current.attrs)
+        return current
+
+    def _gather(
+        self,
+        conjunct: Formula,
+        generators: List[PlanNode],
+        deferred: List[Tuple[Condition, Set[str]]],
+        antijoins: List[PlanNode],
+        required: Set[str],
+        anchors: List[Tuple[str, Element]],
+    ) -> None:
+        if isinstance(conjunct, Top):
+            return
+        if isinstance(conjunct, Bottom):
+            generators.append(Literal((), ()))
+            return
+        if isinstance(conjunct, Equals):
+            self._gather_equality(conjunct, False, generators, deferred, required, anchors)
+            return
+        if isinstance(conjunct, Atom):
+            if conjunct.predicate in self._schema:
+                generators.append(self._scan(conjunct))
+            else:
+                condition = DomainCondition(
+                    conjunct.predicate, tuple(_term_ref(a) for a in conjunct.args)
+                )
+                deferred.append((condition, _fv(conjunct)))
+            return
+        if isinstance(conjunct, Not):
+            body = conjunct.body
+            if isinstance(body, Equals):
+                self._gather_equality(body, True, generators, deferred, required, anchors)
+                return
+            if isinstance(body, Atom) and body.predicate not in self._schema:
+                condition = DomainCondition(
+                    body.predicate,
+                    tuple(_term_ref(a) for a in body.args),
+                    negated=True,
+                )
+                deferred.append((condition, _fv(body)))
+                return
+            if isinstance(body, Top):
+                generators.append(Literal((), ()))
+                return
+            if isinstance(body, Bottom):
+                return
+            antijoins.append(self.compile(body))
+            return
+        # Compound conjunct (quantifier, disjunction, ...): compile standalone.
+        generators.append(self.compile(conjunct))
+
+    def _gather_equality(
+        self,
+        equality: Equals,
+        negated: bool,
+        generators: List[PlanNode],
+        deferred: List[Tuple[Condition, Set[str]]],
+        required: Set[str],
+        anchors: List[Tuple[str, Element]],
+    ) -> None:
+        left, right = equality.left, equality.right
+        if isinstance(left, Const) and isinstance(right, Const):
+            holds = (left.value == right.value) != negated
+            if not holds:
+                generators.append(Literal((), ()))
+            return
+        if isinstance(left, Const):
+            left, right = right, left
+        if isinstance(right, Const):
+            if not isinstance(left, Var):
+                raise CompilationError(f"term {left!r} has no algebra translation")
+            if negated:
+                deferred.append(
+                    (Comparison(AttrRef(left.name), ConstRef(right.value), True),
+                     {left.name}),
+                )
+            else:
+                anchors.append((left.name, right.value))
+            return
+        if not (isinstance(left, Var) and isinstance(right, Var)):
+            raise CompilationError(
+                f"equality over {left!r} and {right!r} has no algebra translation"
+            )
+        if left.name == right.name:
+            if negated:
+                generators.append(Literal((left.name,), ()))
+            else:
+                required.add(left.name)
+            return
+        deferred.append(
+            (Comparison(AttrRef(left.name), AttrRef(right.name), negated),
+             {left.name, right.name}),
+        )
+
+    def _scan(self, atom: Atom) -> PlanNode:
+        relation = self._schema.relation(atom.predicate)
+        if len(atom.args) != relation.arity:
+            # The stored relation holds no rows of this arity, so the atom is
+            # unsatisfiable — mirror the evaluator, which answers False.
+            names: List[str] = []
+            for arg in atom.args:
+                if isinstance(arg, Var) and arg.name not in names:
+                    names.append(arg.name)
+            return Literal(tuple(names), ())
+        columns: List[Optional[str]] = []
+        constants: List[Tuple[int, Element]] = []
+        attrs: List[str] = []
+        for index, arg in enumerate(atom.args):
+            if isinstance(arg, Var):
+                columns.append(arg.name)
+                if arg.name not in attrs:
+                    attrs.append(arg.name)
+            elif isinstance(arg, Const):
+                columns.append(None)
+                constants.append((index, arg.value))
+            else:
+                raise CompilationError(f"term {arg!r} has no algebra translation")
+        return Scan(atom.predicate, tuple(columns), tuple(constants), tuple(attrs))
+
+
+def _fuse_select(node: PlanNode, condition: Condition) -> PlanNode:
+    if isinstance(node, Select):
+        return Select(node.source, node.conditions + (condition,), node.attrs)
+    return Select(node, (condition,), node.attrs)
+
+
+def _flatten_and(formula: And) -> List[Formula]:
+    conjuncts: List[Formula] = []
+    for conjunct in formula.conjuncts:
+        if isinstance(conjunct, And):
+            conjuncts.extend(_flatten_and(conjunct))
+        else:
+            conjuncts.append(conjunct)
+    return conjuncts

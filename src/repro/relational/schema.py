@@ -8,8 +8,8 @@ exactly the father/son example of the paper's introduction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, Tuple
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple
 
 __all__ = ["RelationSchema", "DatabaseSchema"]
 

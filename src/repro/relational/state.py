@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Sequence, Tuple, Union
 
-from .schema import DatabaseSchema, RelationSchema
+from .schema import DatabaseSchema
 
 __all__ = ["Element", "Row", "Relation", "DatabaseState"]
 

@@ -78,6 +78,12 @@ class EqualityRelativeSafety(RelativeSafetyDecider):
 
     def __init__(self, domain):
         self._domain = domain
+        # Compiled probe plans, memoised per (query, schema): a CompiledQuery
+        # is state-independent, so entries never go stale.  Imported lazily —
+        # repro.engine imports this module at package-init time.
+        from ..engine.plan_cache import PlanCache
+
+        self._probe_plans = PlanCache(maxsize=64)
 
     def decide(self, query: Formula, state: DatabaseState) -> SafetyVerdict:
         base = sorted(active_domain(state, query), key=repr)
@@ -87,7 +93,17 @@ class EqualityRelativeSafety(RelativeSafetyDecider):
             raise RuntimeError("the carrier is too small to supply fresh elements")
         probe = fresh[0]
         universe = list(base) + fresh
-        answer = evaluate_query(query, universe, state=state, interpretation=self._domain)
+        # The probe evaluation is itself an active-domain query over the
+        # enlarged universe, so it benefits from the compiled algebra backend
+        # exactly like ordinary evaluation does; the tree walker remains the
+        # fallback for queries that do not compile.
+        compiled = self._compiled_probe(query, state.schema)
+        if compiled is None:
+            answer = evaluate_query(
+                query, universe, state=state, interpretation=self._domain
+            )
+        else:
+            answer = compiled.execute(state, self._domain, extra_elements=fresh)
         escaping = [row for row in answer.rows if probe in row]
         if escaping:
             return SafetyVerdict.infinite(
@@ -100,6 +116,21 @@ class EqualityRelativeSafety(RelativeSafetyDecider):
             method=self.name,
             details="no tuple containing a fresh element satisfies the query",
         )
+
+    def _compiled_probe(self, query: Formula, schema):
+        """The memoised compiled plan for ``query``, or ``None`` when the
+        query has no algebra translation (failures are memoised too)."""
+        from ..relational.compile import CompilationError, compile_query
+
+        key = (query, schema)
+        if key in self._probe_plans:
+            return self._probe_plans.get(key)
+        try:
+            compiled = compile_query(query, schema, self._domain)
+        except CompilationError:
+            compiled = None
+        self._probe_plans.put(key, compiled)
+        return compiled
 
 
 class OrderedRelativeSafety(RelativeSafetyDecider):

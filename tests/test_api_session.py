@@ -181,6 +181,16 @@ def test_compile_rejects_unknown_functions_and_bad_text():
         session.compile(42)
 
 
+def test_compile_rejects_arity_mismatches():
+    session = connect("eq", _UNARY_S)
+    with pytest.raises(SessionError) as excinfo:
+        session.compile("S(x, y)")
+    assert "expects 1 argument" in str(excinfo.value)
+    numbers = connect("presburger")
+    with pytest.raises(SessionError):
+        numbers.compile(atom("<", var("x")))  # the order predicate is binary
+
+
 def test_analyze_reports_safety_verdict_and_decidability():
     session = connect("presburger", _UNARY_S)
     state = session.state(S=[(3,)])

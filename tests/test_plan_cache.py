@@ -1,0 +1,162 @@
+"""Tests for the LRU plan cache and the planner's compiled-backend selection."""
+
+import pytest
+
+from repro import Budget, connect
+from repro.domains.equality import EqualityDomain
+from repro.engine.plan_cache import PlanCache
+from repro.engine.plans import (
+    STRATEGIES,
+    ActiveDomainPlan,
+    CompiledAlgebraPlan,
+    GuardedPlan,
+    plan_for_strategy,
+)
+from repro.domains.registry import get_entry
+from repro.experiments.corpora import family_schema, family_state
+
+
+# ---------------------------------------------------------------------------
+# PlanCache mechanics
+# ---------------------------------------------------------------------------
+
+
+def test_cache_hits_and_misses_are_counted():
+    cache = PlanCache(maxsize=4)
+    assert cache.get("a") is None
+    cache.put("a", 1)
+    assert cache.get("a") == 1
+    info = cache.info()
+    assert (info.hits, info.misses, info.size, info.maxsize) == (1, 1, 1, 4)
+    assert "hits=1" in str(info)
+
+
+def test_cache_evicts_least_recently_used():
+    cache = PlanCache(maxsize=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1        # refresh "a": now "b" is the LRU entry
+    cache.put("c", 3)
+    assert "b" not in cache and "a" in cache and "c" in cache
+    assert cache.info().evictions == 1
+
+
+def test_cache_maxsize_zero_disables_storage():
+    cache = PlanCache(maxsize=0)
+    cache.put("a", 1)
+    assert len(cache) == 0 and cache.get("a") is None
+    with pytest.raises(ValueError):
+        PlanCache(maxsize=-1)
+
+
+def test_cache_clear_keeps_counters():
+    cache = PlanCache()
+    cache.put("a", 1)
+    cache.get("a")
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.info().hits == 1
+
+
+# ---------------------------------------------------------------------------
+# Planner selection and the session-owned cache
+# ---------------------------------------------------------------------------
+
+
+def test_registry_capability_flags():
+    assert get_entry("eq").supports_compiled_algebra
+    assert get_entry("presburger").supports_compiled_algebra
+    assert not get_entry("succ").supports_compiled_algebra
+    assert not get_entry("traces").supports_compiled_algebra
+
+
+def test_guard_certified_equality_queries_use_the_compiled_backend():
+    session = connect("eq", family_schema())
+    plan = session.plan()
+    assert isinstance(plan, GuardedPlan)
+    assert isinstance(plan.inner, CompiledAlgebraPlan)
+    state = family_state(generations=2)
+    result = session.run("exists y. (F(x, y) & F(y, z))", state)
+    assert result.answer.method == "compiled-algebra"
+    assert result.answer.rows() == tuple(sorted(
+        (f, g) for f, m in state["F"] for m2, g in state["F"] if m == m2
+    ))
+
+
+def test_repeated_queries_hit_the_session_plan_cache():
+    session = connect("eq", family_schema())
+    state = family_state(generations=2)
+    for _ in range(3):
+        session.query("exists y. (F(x, y) & F(y, z))", state)
+    info = session.plan_cache_info()
+    assert info.misses == 1 and info.hits == 2 and info.size == 1
+    # A different schema fingerprint can never reuse the entry.
+    assert session.plan_cache is not connect("eq", family_schema()).plan_cache
+
+
+def test_schema_fingerprint_separates_cache_entries():
+    session = connect("eq", family_schema())
+    state = family_state(generations=1)
+    session.query("F(x, y)", state)
+    other_schema = family_schema().extend([])  # equal schema -> same key
+    session.query("F(x, y)", state)
+    assert session.plan_cache_info().size == 1
+    assert other_schema == family_schema()
+
+
+def test_compiled_strategy_is_explicitly_requestable():
+    assert "compiled" in STRATEGIES
+    session = connect("eq", family_schema())
+    plan = session.plan("compiled")
+    assert isinstance(plan, CompiledAlgebraPlan)
+    state = family_state(generations=1)
+    answer = session.execute(plan, "F(x, y)", state)
+    assert answer.method == "compiled-algebra"
+    assert "compiled-algebra" in plan.explain()
+    assert plan.last_summary is not None
+
+
+def test_plan_for_strategy_builds_a_compiled_plan_without_a_cache():
+    plan = plan_for_strategy("compiled", EqualityDomain(), Budget())
+    assert isinstance(plan, CompiledAlgebraPlan)
+    assert plan.cache is None
+
+
+def test_unsupported_domains_keep_the_tree_walker_for_guarded_auto():
+    # (N, ') has a guard but not the compiled backend: queries lean on succ
+    # terms, so the planner keeps enumeration / tree walking.
+    session = connect("succ")
+    plan = session.plan()
+    assert not isinstance(getattr(plan, "inner", plan), CompiledAlgebraPlan)
+
+
+def test_fallback_reason_is_recorded_and_cleared():
+    session = connect("succ", family_schema())
+    plan = session.plan("compiled")
+    state = session.state(F=[(0, 1)])
+    session.execute(plan, "exists y. (F(x, y) & x = succ(y))", state)
+    assert plan.fallback_reason is not None
+    assert "fell back" in plan.explain()
+    session.execute(plan, "F(x, y)", state)
+    assert plan.fallback_reason is None
+
+
+def test_plan_cache_size_is_configurable_per_session():
+    session = connect("eq", family_schema(), plan_cache_size=1)
+    state = family_state(generations=1)
+    session.query("F(x, y)", state)
+    session.query("F(y, x)", state)
+    session.query("F(x, y)", state)  # evicted, recompiled
+    info = session.plan_cache_info()
+    assert info.maxsize == 1 and info.evictions >= 1 and info.misses == 3
+
+
+def test_active_domain_plan_and_compiled_plan_agree_under_extra_elements():
+    domain = EqualityDomain()
+    state = family_state(generations=2)
+    from repro.logic.parser import parse_formula
+
+    query = parse_formula("~F(x, y)")
+    walker = ActiveDomainPlan(domain=domain, extra_elements=(99,))
+    compiled = CompiledAlgebraPlan(domain=domain, extra_elements=(99,))
+    assert walker.execute(query, state).rows() == compiled.execute(query, state).rows()
