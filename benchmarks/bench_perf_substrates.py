@@ -9,7 +9,10 @@ These characterise how the decision procedures and simulators scale:
 * query answering by enumeration vs database size;
 * relational algebra joins vs relation size;
 * the compiled relational-algebra backend vs the tree-walking evaluator on
-  guard-certified queries (the CI regression gate watches this one).
+  guard-certified queries (the CI regression gate watches this one);
+* the three execution substrates (tree walker / compiled set executor /
+  vectorized NumPy columnar executor) head-to-head on int-domain states,
+  asserting the vectorized path wins at the largest size.
 """
 
 import time
@@ -21,7 +24,12 @@ from repro.domains.presburger import PresburgerDomain
 from repro.domains.reach_traces import ReachTracesDomain
 from repro.domains.successor import SuccessorDomain, eliminate_successor_quantifiers
 from repro.engine.enumeration import answer_by_enumeration
-from repro.experiments.corpora import family_state, numeric_schema, numeric_state
+from repro.experiments.corpora import (
+    family_state,
+    numeric_schema,
+    numeric_state,
+    ordered_query_corpus,
+)
 from repro.experiments.exp01_intro_queries import (
     grandfather_query,
     more_than_one_son_query,
@@ -145,6 +153,62 @@ def test_perf_compiled_algebra_vs_tree_walk(benchmark, generations):
         assert speedup >= 5.0, (
             f"compiled backend only {speedup:.1f}x faster than tree walking "
             f"at {state.total_rows()} rows; the ISSUE requires >=5x"
+        )
+
+
+#: int-domain state sizes for the three-way substrate comparison; the last
+#: one is where the ISSUE's ≥3× vectorized-vs-compiled criterion is checked
+_INT_SIZES = (64, 256, 1024)
+
+
+@pytest.mark.parametrize("size", _INT_SIZES)
+def test_perf_vectorized_three_way(benchmark, size):
+    """Tree walker vs compiled set executor vs vectorized columnar executor
+    on ``(N, <)``-style queries over growing integer states: the vectorized
+    path must beat the compiled set executor by ≥3× at the largest size."""
+    from repro.relational.columnar import run_plan_vectorized
+
+    domain = PresburgerDomain()
+    state = numeric_state([3 * i + 1 for i in range(size)])
+    corpus = {name: query for name, query, _finite in ordered_query_corpus()}
+    queries = [corpus["members"], corpus["below-member"]]
+    compiled = [compile_query(q, state.schema, domain) for q in queries]
+
+    def run_vectorized():
+        return [
+            run_plan_vectorized(c.plan, state, c.universe(state), domain)
+            for c in compiled
+        ]
+
+    run_vectorized()  # warm numpy's lazy imports before timing
+    fast = benchmark.pedantic(run_vectorized, iterations=3, rounds=3)
+    started = time.perf_counter()
+    set_answers = [c.execute(state, domain) for c in compiled]
+    set_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    tree_answers = [
+        evaluate_query_active_domain(q, state, interpretation=domain)
+        for q in queries
+    ]
+    tree_walk_seconds = time.perf_counter() - started
+    for vec_rows, set_answer, tree_answer in zip(fast, set_answers, tree_answers):
+        assert vec_rows == set_answer.rows == tree_answer.rows
+    vectorized_seconds = benchmark.stats.stats.min
+    speedup_vs_set = set_seconds / vectorized_seconds
+    benchmark.extra_info["rows"] = state.total_rows()
+    benchmark.extra_info["set_seconds"] = set_seconds
+    benchmark.extra_info["tree_walk_seconds"] = tree_walk_seconds
+    benchmark.extra_info["speedup_vs_set"] = speedup_vs_set
+    print(
+        f"\n[substrates] size={size} tree-walk={tree_walk_seconds:.4f}s "
+        f"set={set_seconds:.4f}s vectorized={vectorized_seconds:.5f}s "
+        f"vectorized-vs-set={speedup_vs_set:.1f}x"
+    )
+    if size == _INT_SIZES[-1]:
+        assert speedup_vs_set >= 3.0, (
+            f"vectorized executor only {speedup_vs_set:.1f}x faster than the "
+            f"compiled set executor at {size} stored ints; the ISSUE "
+            "requires >=3x"
         )
 
 

@@ -90,21 +90,42 @@ def main() -> None:
     print()
 
     # ------------------------------------------------------------------
-    # 4. The compiled relational-algebra backend and the plan cache.
-    #    Guard-certified queries over the equality domain compile to hash
-    #    joins and run set-at-a-time; repeated queries skip compilation via
-    #    the session's LRU plan cache.  (See "Which plan fires when" and
-    #    "The plan cache" in API.md for the full selection table.)
+    # 4. The vectorized NumPy columnar executor and the plan cache.
+    #    Guard-certified queries over the equality domain compile to
+    #    relational algebra and run on int64 column arrays (strategy
+    #    "vectorized"); repeated queries skip compilation via the session's
+    #    LRU plan cache, keyed (formula, schema, domain, substrate).
+    #    (See "Which plan fires when" in docs/ARCHITECTURE.md.)
     # ------------------------------------------------------------------
     big_state = family_state(generations=5, sons_per_father=2)
     grandfather = "exists y. (F(x, y) & F(y, z))"
     first = session.run(grandfather, big_state)
     again = session.run(grandfather, big_state)
-    print(f"Compiled backend on {big_state.total_rows()} father/son rows:")
+    print(f"Vectorized backend on {big_state.total_rows()} father/son rows:")
     print("    answer method:", first.answer.method)
+    print("    plan:", first.plan.inner.explain().split(";")[0])
     print(f"    {len(first.answer.rows())} grandfather/grandson pairs "
           f"in {again.elapsed * 1000:.2f} ms (plan served from cache)")
     print("    plan cache:", session.plan_cache_info())
+    print()
+
+    # ------------------------------------------------------------------
+    # 5. The transparent fallback ladder, demonstrated on the trace domain:
+    #    its predicate P ranges over machine words (strings), which
+    #    dictionary-encode fine, but P itself has no array kernel — so an
+    #    explicitly requested "vectorized" plan executes on the
+    #    set-at-a-time executor instead, and explain() says why.
+    # ------------------------------------------------------------------
+    from repro.relational.schema import DatabaseSchema, RelationSchema
+
+    word_schema = DatabaseSchema((RelationSchema("W", 1, ("word",)),))
+    traces = repro.connect(domain="traces", schema=word_schema)
+    plan = traces.plan("vectorized")
+    trace_state = traces.state(W=[("1",), ("11",), ("1&1",)])
+    answer = traces.execute(plan, "W(x) & P(x, x, x)", trace_state)
+    print("Trace domain, strategy='vectorized' on W(x) & P(x, x, x):")
+    print("    answer method:", answer.method)
+    print("    fallback reason:", plan.fallback_reason)
 
 
 if __name__ == "__main__":

@@ -5,7 +5,9 @@ The package is organised by subsystem:
 
 * :mod:`repro.logic` — first-order logic (the relational calculus);
 * :mod:`repro.relational` — schemas, states, relational algebra, active
-  domains, and the translation of database queries into pure domain formulas;
+  domains, the translation of database queries into pure domain formulas,
+  and the calculus→algebra compiler with its two executors (set-at-a-time
+  and vectorized NumPy columnar);
 * :mod:`repro.turing` — Turing machines, their string encodings, and
   computation traces;
 * :mod:`repro.domains` — the domains studied in the paper, each with a

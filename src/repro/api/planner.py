@@ -8,9 +8,10 @@ request into a concrete :class:`~repro.engine.plans.Plan`:
   enumeration (decidable theory) or active-domain semantics (otherwise);
 * ``"guarded"`` — like ``"auto"`` but fails loudly when no guard exists
   (e.g. the trace domain, Theorems 3.1/3.3);
-* ``"active-domain"`` / ``"compiled"`` / ``"enumeration"`` — force a bare
-  strategy, bypassing the guards (useful for studying budget exhaustion on
-  infinite queries, or for benchmarking the compiled backend directly).
+* ``"active-domain"`` / ``"compiled"`` / ``"vectorized"`` /
+  ``"enumeration"`` — force a bare strategy, bypassing the guards (useful for
+  studying budget exhaustion on infinite queries, or for benchmarking one
+  execution substrate directly).
 
 Every returned plan answers :meth:`~repro.engine.plans.Plan.explain` with the
 reason for the choice.
@@ -46,6 +47,7 @@ class Planner:
         safety: Optional[RelativeSafetyDecider] = None,
         finite_is_domain_independent: bool = False,
         supports_compiled_algebra: bool = False,
+        supports_vectorized: bool = False,
         plan_cache: Optional[PlanCache] = None,
     ):
         self._domain = domain
@@ -53,6 +55,7 @@ class Planner:
         self._safety = safety
         self._finite_is_di = finite_is_domain_independent
         self._compilable = supports_compiled_algebra
+        self._vectorizable = supports_vectorized
         self._plan_cache = plan_cache
 
     @property
@@ -91,11 +94,29 @@ class Planner:
             # active-domain evaluation is exact — and far cheaper than the
             # Section 1.1 enumeration.  When the domain additionally supports
             # the compiled relational-algebra backend, prefer it: same
-            # active-domain answer, computed set-at-a-time.
-            from ..engine.plans import ActiveDomainPlan, CompiledAlgebraPlan, GuardedPlan
+            # active-domain answer, computed set-at-a-time — and when its
+            # carriers also encode to int64 columns, prefer the vectorized
+            # columnar executor over the set executor.
+            from ..engine.plans import (
+                ActiveDomainPlan,
+                CompiledAlgebraPlan,
+                GuardedPlan,
+                VectorizedAlgebraPlan,
+            )
 
-            if self._compilable:
-                inner: Plan = CompiledAlgebraPlan(
+            if self._compilable and self._vectorizable:
+                inner: Plan = VectorizedAlgebraPlan(
+                    domain=self._domain,
+                    budget=budget if budget is not None else Budget(),
+                    extra_elements=tuple(extra_elements),
+                    cache=self._plan_cache,
+                    reason=f"over {self._domain.name!r} every finite query is "
+                    "domain-independent and carriers encode to int64 columns, "
+                    "so guard-certified queries are answered by the vectorized "
+                    "NumPy columnar executor (exact, set semantics)",
+                )
+            elif self._compilable:
+                inner = CompiledAlgebraPlan(
                     domain=self._domain,
                     budget=budget if budget is not None else Budget(),
                     extra_elements=tuple(extra_elements),

@@ -154,8 +154,9 @@ class Session:
         self._safety = safety if guard else None
         self._syntax = syntax if guard else None
         # The plan cache makes repeated queries skip calculus→algebra
-        # compilation; it is keyed by (formula, schema fingerprint, domain),
-        # so states may vary freely between calls.
+        # compilation; it is keyed by (formula, schema fingerprint, domain,
+        # substrate), so states may vary freely between calls and the two
+        # algebra substrates never collide.
         self._plan_cache = PlanCache(maxsize=plan_cache_size)
         self._planner = Planner(
             self._domain,
@@ -166,6 +167,9 @@ class Session:
             ),
             supports_compiled_algebra=(
                 entry is not None and entry.supports_compiled_algebra
+            ),
+            supports_vectorized=(
+                entry is not None and entry.supports_vectorized
             ),
             plan_cache=self._plan_cache,
         )

@@ -61,6 +61,14 @@ class DomainEntry:
     #: set-at-a-time.  Function-heavy domains (e.g. ``(N, ')``, whose queries
     #: lean on ``succ`` terms) leave this off and keep the tree walker.
     supports_compiled_algebra: bool = False
+    #: True when the domain's carriers encode to ``int64`` columns (machine
+    #: integers directly, strings via dictionary encoding), so compiled
+    #: algebra plans can be lowered to the vectorized NumPy executor
+    #: (:mod:`repro.relational.columnar`).  The planner then prefers strategy
+    #: ``"vectorized"`` over ``"compiled"``; execution still falls back to
+    #: the set executor transparently when a specific plan or carrier resists
+    #: vectorization, with the reason recorded in ``explain()``.
+    supports_vectorized: bool = False
 
 
 _REGISTRY: Dict[str, DomainEntry] = {}
@@ -186,6 +194,7 @@ def _register_builtins() -> None:
         syntax_factory=_active_domain_syntax,
         finite_implies_domain_independent=True,
         supports_compiled_algebra=True,
+        supports_vectorized=True,
     ))
     register_domain(DomainEntry(
         name="naturals_with_order",
@@ -195,6 +204,7 @@ def _register_builtins() -> None:
         safety_factory=_ordered_safety,
         syntax_factory=_finitization_syntax,
         supports_compiled_algebra=True,
+        supports_vectorized=True,
     ))
     register_domain(DomainEntry(
         name="presburger_naturals",
@@ -204,6 +214,7 @@ def _register_builtins() -> None:
         safety_factory=_ordered_safety,
         syntax_factory=_finitization_syntax,
         supports_compiled_algebra=True,
+        supports_vectorized=True,
     ))
     register_domain(DomainEntry(
         name="presburger_integers",
@@ -212,6 +223,7 @@ def _register_builtins() -> None:
         summary="Presburger arithmetic over Z",
         syntax_factory=_finitization_syntax_integers,
         supports_compiled_algebra=True,
+        supports_vectorized=True,
     ))
     register_domain(DomainEntry(
         name="naturals_with_successor",
@@ -220,6 +232,7 @@ def _register_builtins() -> None:
         summary="the natural numbers with successor (N, ') (Section 2.2)",
         safety_factory=_successor_safety,
         syntax_factory=_extended_active_domain_syntax,
+        supports_vectorized=True,
     ))
     register_domain(DomainEntry(
         name="traces",

@@ -18,6 +18,7 @@ from .plans import (
     GuardedOutcome,
     GuardedPlan,
     Plan,
+    VectorizedAlgebraPlan,
     plan_for_strategy,
 )
 from .safety_guard import GuardedEngine, GuardResult
@@ -25,7 +26,8 @@ from .safety_guard import GuardedEngine, GuardResult
 __all__ = [
     "Answer", "FiniteAnswer", "InfiniteAnswer", "UnknownAnswer",
     "Budget", "BudgetClock",
-    "Plan", "ActiveDomainPlan", "CompiledAlgebraPlan", "EnumerationPlan",
+    "Plan", "ActiveDomainPlan", "CompiledAlgebraPlan", "VectorizedAlgebraPlan",
+    "EnumerationPlan",
     "GuardedPlan", "GuardedOutcome", "plan_for_strategy", "STRATEGIES",
     "PlanCache", "PlanCacheInfo",
     "answer_by_enumeration", "enumerate_tuples",

@@ -1,12 +1,19 @@
 """First-class query plans.
 
 A :class:`Plan` is an executable strategy object replacing the old
-``strategy: str`` flag of ``QueryEngine.answer``.  The three concrete plans
-mirror the paper's evaluation disciplines:
+``strategy: str`` flag of ``QueryEngine.answer``.  The concrete plans mirror
+the paper's evaluation disciplines across three execution substrates:
 
-* :class:`ActiveDomainPlan` — active-domain semantics: quantifiers and answer
-  variables range over the active domain, so every answer is finite by
-  construction (sound and complete for domain-independent queries);
+* :class:`ActiveDomainPlan` — active-domain semantics by tree walking:
+  quantifiers and answer variables range over the active domain, so every
+  answer is finite by construction (sound and complete for
+  domain-independent queries);
+* :class:`CompiledAlgebraPlan` — the same active-domain answer via the
+  calculus→algebra compiler and the set-at-a-time executor (hash joins,
+  antijoins, selection pushdown);
+* :class:`VectorizedAlgebraPlan` — the same algebra plans lowered to
+  vectorized NumPy column kernels, with a transparent fallback ladder
+  (vectorized → set executor → tree walker) recorded in ``explain()``;
 * :class:`EnumerationPlan` — the Section 1.1 enumeration algorithm, complete
   for arbitrary finite queries over a domain with a decidable theory, bounded
   by a :class:`~repro.engine.budget.Budget`;
@@ -23,12 +30,17 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import ClassVar, Optional, Tuple
 
 from ..domains.base import Domain, TheoryUndecidableError
 from ..logic.analysis import free_variables
 from ..logic.formulas import Formula
 from ..relational.calculus import evaluate_query_active_domain
+from ..relational.columnar import (
+    VectorizationError,
+    run_plan_vectorized,
+    vectorization_obstacle,
+)
 from ..relational.compile import CompilationError, CompiledQuery, compile_query
 from ..relational.state import DatabaseState, Element, Relation
 from ..safety.classes import FinitenessStatus, SafetyVerdict
@@ -42,6 +54,7 @@ __all__ = [
     "Plan",
     "ActiveDomainPlan",
     "CompiledAlgebraPlan",
+    "VectorizedAlgebraPlan",
     "EnumerationPlan",
     "GuardedPlan",
     "GuardedOutcome",
@@ -78,7 +91,9 @@ def decide_or_semidecide(
         )
 
 #: the strategy names understood by :func:`plan_for_strategy`
-STRATEGIES = ("auto", "active-domain", "compiled", "enumeration", "guarded")
+STRATEGIES = (
+    "auto", "active-domain", "compiled", "vectorized", "enumeration", "guarded",
+)
 
 
 class Plan(ABC):
@@ -148,6 +163,8 @@ class CompiledAlgebraPlan(Plan):
     last_summary: Optional[str] = None
 
     strategy = "compiled-algebra"
+    #: component of the plan-cache key separating execution substrates
+    _substrate: ClassVar[str] = "compiled"
 
     def execute(self, query: Formula, state: DatabaseState) -> Answer:
         try:
@@ -155,17 +172,21 @@ class CompiledAlgebraPlan(Plan):
         except CompilationError as error:
             self.fallback_reason = str(error)
             self.last_summary = None
-            relation = evaluate_query_active_domain(
-                query,
-                state,
-                interpretation=self.domain,
-                extra_elements=self.extra_elements,
-            )
-            return FiniteAnswer(relation, method="active-domain")
+            return self._tree_walk_answer(query, state)
         self.fallback_reason = None
         self.last_summary = compiled.summary()
         relation = compiled.execute(state, self.domain, self.extra_elements)
         return FiniteAnswer(relation, method="compiled-algebra")
+
+    def _tree_walk_answer(self, query: Formula, state: DatabaseState) -> Answer:
+        """The tree-walking fallback shared by both algebra substrates."""
+        relation = evaluate_query_active_domain(
+            query,
+            state,
+            interpretation=self.domain,
+            extra_elements=self.extra_elements,
+        )
+        return FiniteAnswer(relation, method="active-domain")
 
     def _compiled(self, query: Formula, state: DatabaseState) -> CompiledQuery:
         """Compile ``query`` for the state's schema, via the cache if present.
@@ -175,7 +196,7 @@ class CompiledAlgebraPlan(Plan):
         """
         if self.cache is None:
             return compile_query(query, state.schema, self.domain)
-        key = (query, state.schema, self.domain.name)
+        key = (query, state.schema, self.domain.name, self._substrate)
         cached = self.cache.get(key)
         if cached is None:
             try:
@@ -192,13 +213,102 @@ class CompiledAlgebraPlan(Plan):
         if self.last_summary:
             text += f" (last plan: {self.last_summary})"
         if self.fallback_reason:
-            text += (
-                "; fell back to the tree-walking active-domain evaluator: "
-                + self.fallback_reason
-            )
+            text += self._fallback_note()
         if self.cache is not None:
             text += f"; plan cache {self.cache.info()}"
         return text
+
+    def _fallback_note(self) -> str:
+        return (
+            "; fell back to the tree-walking active-domain evaluator: "
+            + (self.fallback_reason or "")
+        )
+
+
+@dataclass(eq=False)
+class VectorizedAlgebraPlan(CompiledAlgebraPlan):
+    """Compile to relational algebra and execute on NumPy column arrays.
+
+    The third execution substrate: the same algebra plan a
+    :class:`CompiledAlgebraPlan` interprets set-at-a-time is lowered to the
+    vectorized columnar executor (:mod:`repro.relational.columnar`) —
+    ``int64`` code columns, sort-based joins via ``np.searchsorted``,
+    antijoin membership masks, adom padding as broadcasts.  The answer is
+    always exactly the active-domain answer; when a plan or carrier resists
+    vectorization (a domain predicate without a kernel, a non-integer carrier
+    under a domain predicate, numpy missing) execution falls back to the set
+    executor, and when compilation itself bails it falls all the way back to
+    the tree walker — either way :meth:`explain` records the reason.
+    """
+
+    reason: str = (
+        "the query compiles to relational algebra and lowers to vectorized "
+        "NumPy kernels, so scans, joins, and antijoins run on int64 column "
+        "arrays instead of Python sets of tuples"
+    )
+
+    strategy = "vectorized"
+    _substrate: ClassVar[str] = "vectorized"
+
+    def execute(self, query: Formula, state: DatabaseState) -> Answer:
+        try:
+            compiled, obstacle = self._vectorized(query, state)
+        except CompilationError as error:
+            self.fallback_reason = (
+                str(error) + "; answered by the tree-walking active-domain "
+                "evaluator instead"
+            )
+            self.last_summary = None
+            return self._tree_walk_answer(query, state)
+        self.last_summary = compiled.summary()
+        if obstacle is None:
+            try:
+                rows = run_plan_vectorized(
+                    compiled.plan,
+                    state,
+                    compiled.universe(state, self.extra_elements),
+                    self.domain,
+                )
+            except VectorizationError as error:
+                obstacle = str(error)
+            else:
+                self.fallback_reason = None
+                relation = Relation(len(compiled.output), rows)
+                return FiniteAnswer(relation, method="vectorized")
+        self.fallback_reason = (
+            obstacle + "; executed by the set-at-a-time executor instead"
+        )
+        relation = compiled.execute(state, self.domain, self.extra_elements)
+        return FiniteAnswer(relation, method="compiled-algebra")
+
+    def _vectorized(
+        self, query: Formula, state: DatabaseState
+    ) -> Tuple[CompiledQuery, Optional[str]]:
+        """The compiled plan plus its *static* vectorization obstacle.
+
+        Both are state-independent, so the pair is what the plan cache
+        stores under this substrate's key — which is why the ``"vectorized"``
+        and ``"compiled"`` cache entries genuinely differ.  Compilation
+        failures are cached as the raised error, like the parent's.
+        """
+        if self.cache is None:
+            compiled = compile_query(query, state.schema, self.domain)
+            return compiled, vectorization_obstacle(compiled.plan)
+        key = (query, state.schema, self.domain.name, self._substrate)
+        cached = self.cache.get(key)
+        if cached is None:
+            try:
+                compiled = compile_query(query, state.schema, self.domain)
+                cached = (compiled, vectorization_obstacle(compiled.plan))
+            except CompilationError as error:
+                cached = error
+            self.cache.put(key, cached)
+        if isinstance(cached, CompilationError):
+            raise cached
+        return cached
+
+    def _fallback_note(self) -> str:
+        return "; fell back: " + (self.fallback_reason or "")
 
 
 @dataclass(frozen=True)
@@ -319,6 +429,16 @@ def plan_for_strategy(
             reason="requested explicitly; compiles to relational algebra and "
             "falls back to tree walking when compilation bails",
         )
+    elif strategy == "vectorized":
+        inner = VectorizedAlgebraPlan(
+            domain=domain,
+            budget=budget,
+            extra_elements=tuple(extra_elements),
+            cache=cache,
+            reason="requested explicitly; lowers the algebra plan to NumPy "
+            "column kernels, falling back to the set executor (and, when "
+            "compilation bails, the tree walker)",
+        )
     elif strategy == "enumeration":
         inner = EnumerationPlan(
             domain=domain,
@@ -351,7 +471,7 @@ def plan_for_strategy(
         )
     if syntax is None and safety is None:
         return inner
-    if strategy in ("active-domain", "compiled", "enumeration"):
+    if strategy in ("active-domain", "compiled", "vectorized", "enumeration"):
         # Explicit single-strategy requests bypass the guards.
         return inner
     parts = []

@@ -25,6 +25,11 @@ from .calculus import (
     evaluate_query_active_domain,
     evaluate_term,
 )
+from .columnar import (
+    VectorizationError,
+    run_plan_vectorized,
+    vectorization_obstacle,
+)
 from .compile import CompilationError, CompiledQuery, compile_query
 from .exec import plan_summary, run_plan
 from .schema import DatabaseSchema, RelationSchema
@@ -47,4 +52,5 @@ __all__ = [
     "evaluate_query_active_domain",
     "CompilationError", "CompiledQuery", "compile_query",
     "run_plan", "plan_summary",
+    "VectorizationError", "run_plan_vectorized", "vectorization_obstacle",
 ]

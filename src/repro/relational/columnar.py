@@ -1,0 +1,476 @@
+"""Columnar (vectorized) execution of compiled relational-algebra plans.
+
+This is the third execution substrate, sitting on top of the same operator IR
+that :mod:`repro.relational.exec` interprets set-at-a-time:
+
+* relations are encoded as **column stores** — one ``np.int64`` code per
+  attribute value, with a dictionary-encoded carrier
+  (:class:`ElementCodec`) whenever elements are not machine-sized integers
+  (strings, mixed carriers, bignums);
+* scans, selections, and equality filters run as **array masks**;
+* joins are **sort-based** (:func:`repro.relational.kernels.join_indices`,
+  built on ``np.unique`` + ``np.searchsorted``), antijoins are membership
+  masks, and active-domain padding is an array broadcast.
+
+Invariants (shared with the tree walker and the set executor):
+
+* **set semantics** — tables are deduplicated at every operator whose output
+  could contain duplicates, so row multiplicity never leaks into answers;
+* **active-domain closure** — the executor only ever materialises codes for
+  elements of the explicit active domain passed to
+  :func:`run_plan_vectorized` (plus the constants embedded in the plan), the
+  same universe the other substrates quantify over;
+* **exactness** — for every plan the decoded row set equals
+  :func:`repro.relational.exec.run_plan` on the same inputs.
+
+Vectorization is deliberately partial, mirroring how compilation itself is
+partial: domain-predicate filters (``x < y``) vectorize only when the carrier
+is numeric (codes *are* values) and the predicate is one of the standard
+integer comparisons; anything else raises :class:`VectorizationError` and the
+caller — :class:`repro.engine.plans.VectorizedAlgebraPlan` — falls back to
+the set executor, recording the reason in ``explain()``.  NumPy itself is a
+soft dependency: without it every plan falls back the same way.
+
+Doctest — a vectorized scan-and-join, equal to the set executor's answer:
+
+>>> from repro.experiments.corpora import family_schema
+>>> from repro.relational.state import DatabaseState
+>>> from repro.relational.compile import compile_query
+>>> from repro.logic.parser import parse_formula
+>>> from repro.domains.equality import EqualityDomain
+>>> state = DatabaseState(family_schema(), {"F": [(0, 1), (1, 2)]})
+>>> compiled = compile_query(parse_formula("exists y. (F(x, y) & F(y, z))"),
+...                          state.schema, EqualityDomain())
+>>> sorted(run_plan_vectorized(compiled.plan, state, [0, 1, 2], EqualityDomain()))
+[(0, 2)]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Set, Tuple
+
+try:  # pragma: no cover - exercised only on numpy-less installs
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+from .exec import (
+    AdomScan,
+    AntiJoin,
+    Comparison,
+    ConstRef,
+    CrossPad,
+    DomainCondition,
+    Join,
+    Literal,
+    PlanNode,
+    Project,
+    Scan,
+    Select,
+    UnionAll,
+    ValueRef,
+    walk_plan,
+)
+from .state import DatabaseState, Element, Row
+
+__all__ = [
+    "HAVE_NUMPY",
+    "VectorizationError",
+    "ElementCodec",
+    "vectorization_obstacle",
+    "run_plan_vectorized",
+]
+
+#: True when numpy imported; without it every vectorized execution falls back
+HAVE_NUMPY = np is not None
+
+#: domain predicates with a vectorized kernel over *numeric* carriers; the
+#: built-in numeric domains (``(N, <)``, Presburger) give these the standard
+#: integer semantics, which is exactly what the array comparison computes
+_NUMERIC_PREDICATES = ("<", "<=", ">", ">=")
+
+#: |values| beyond this magnitude leave int64 passthrough territory
+_INT64_LIMIT = 2 ** 62
+
+
+class VectorizationError(ValueError):
+    """Raised when a plan or carrier has no vectorized execution; callers
+    fall back to the set-at-a-time executor."""
+
+
+def vectorization_obstacle(plan: PlanNode) -> Optional[str]:
+    """The *static* reason ``plan`` cannot run vectorized, or ``None``.
+
+    This is state-independent (it depends only on the operators in the plan),
+    so :class:`~repro.engine.plans.VectorizedAlgebraPlan` caches it alongside
+    the compiled plan.  Carrier-dependent obstacles (e.g. a domain predicate
+    over a dictionary-encoded carrier) surface later, at execution time.
+
+    >>> from repro.relational.exec import Select, Literal, DomainCondition, AttrRef
+    >>> vectorization_obstacle(Literal(("x",), ((1,),))) is None
+    True
+    >>> probe = Select(Literal(("x",), ()),
+    ...                (DomainCondition("divides", (AttrRef("x"), AttrRef("x"))),),
+    ...                ("x",))
+    >>> vectorization_obstacle(probe)
+    "domain predicate 'divides' has no vectorized kernel"
+    """
+    if not HAVE_NUMPY:
+        return "numpy is not installed"
+    for node in walk_plan(plan):
+        if isinstance(node, Select):
+            for condition in node.conditions:
+                if (
+                    isinstance(condition, DomainCondition)
+                    and condition.predicate not in _NUMERIC_PREDICATES
+                ):
+                    return (
+                        f"domain predicate {condition.predicate!r} has no "
+                        "vectorized kernel"
+                    )
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Element encoding
+# ---------------------------------------------------------------------------
+
+
+class ElementCodec:
+    """A bijection between domain elements and ``np.int64`` codes.
+
+    Two modes, chosen by :meth:`for_universe`:
+
+    * **numeric passthrough** — every element is a machine-sized ``int``, so
+      the code *is* the value and numeric domain predicates vectorize as
+      plain array comparisons;
+    * **dictionary** — elements (strings, mixed carriers, bignums) are
+      assigned dense codes in a deterministic order; equality-based operators
+      (scans, joins, antijoins, comparisons) still vectorize, but domain
+      predicates do not, because codes no longer carry the numeric value.
+
+    >>> codec = ElementCodec.for_universe([10, 3])
+    >>> codec.numeric, codec.encode(10)
+    (True, 10)
+    >>> named = ElementCodec.for_universe(["eve", "adam"])
+    >>> named.numeric, named.decode(named.encode("eve"))
+    (False, 'eve')
+    """
+
+    def __init__(self, numeric: bool, table: Tuple[Element, ...]):
+        self.numeric = numeric
+        self._table = table
+        self._codes: Dict[Element, int] = {
+            element: code for code, element in enumerate(table)
+        }
+
+    @classmethod
+    def for_universe(cls, elements: Sequence[Element]) -> "ElementCodec":
+        """The codec for a finite universe: passthrough if it is all
+        machine-sized ints, a dictionary otherwise."""
+        universe = set(elements)
+        if all(
+            isinstance(element, int) and -_INT64_LIMIT < element < _INT64_LIMIT
+            for element in universe
+        ):
+            return cls(numeric=True, table=())
+        return cls(numeric=False, table=tuple(sorted(universe, key=repr)))
+
+    def encode(self, element: Element) -> int:
+        """The code of one element (raises on elements outside the universe)."""
+        if self.numeric:
+            return int(element)
+        try:
+            return self._codes[element]
+        except KeyError:
+            raise VectorizationError(
+                f"element {element!r} is outside the encoded universe"
+            ) from None
+
+    def encodable(self, element: Element) -> bool:
+        """True iff :meth:`encode` accepts ``element``."""
+        if self.numeric:
+            return isinstance(element, int)
+        return element in self._codes
+
+    def decode(self, code: int) -> Element:
+        """The element behind one code."""
+        if self.numeric:
+            return int(code)
+        return self._table[code]
+
+    def encode_rows(self, rows: Sequence[Row], arity: int) -> "np.ndarray":
+        """A fresh ``(len(rows), arity)`` int64 code table for ``rows``."""
+        if not rows:
+            return np.empty((0, arity), dtype=np.int64)
+        if self.numeric:
+            return np.array(list(rows), dtype=np.int64).reshape(len(rows), arity)
+        codes = self._codes
+        flat = [codes[value] for row in rows for value in row]
+        return np.array(flat, dtype=np.int64).reshape(len(rows), arity)
+
+
+# ---------------------------------------------------------------------------
+# The executor
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Table:
+    """An intermediate result: attribute names plus a deduplicated code table."""
+
+    attrs: Tuple[str, ...]
+    codes: Any  # np.ndarray of shape (rows, len(attrs))
+
+
+class _ColumnarExecutor:
+    """Evaluate plan nodes bottom-up on int64 code tables.
+
+    Every method keeps the invariant that its output table is deduplicated,
+    so joins never have to re-dedupe (a natural join of sets is a set)."""
+
+    def __init__(
+        self,
+        state: DatabaseState,
+        adom: Sequence[Element],
+        codec: ElementCodec,
+    ) -> None:
+        from . import kernels
+
+        self._k = kernels
+        self._state = state
+        self._codec = codec
+        adom_rows = [(element,) for element in set(adom)]
+        self._adom = codec.encode_rows(adom_rows, 1)[:, 0]
+        self._relations: Dict[str, Any] = {}
+
+    def run(self, node: PlanNode) -> _Table:
+        if isinstance(node, Scan):
+            return self._scan(node)
+        if isinstance(node, AdomScan):
+            return _Table(node.attrs, self._adom.reshape(-1, 1))
+        if isinstance(node, Literal):
+            rows = tuple(set(node.rows))
+            return _Table(node.attrs, self._codec.encode_rows(rows, len(node.attrs)))
+        if isinstance(node, Select):
+            return self._select(node)
+        if isinstance(node, Project):
+            return self._project(node)
+        if isinstance(node, Join):
+            return self._join(node)
+        if isinstance(node, AntiJoin):
+            return self._antijoin(node)
+        if isinstance(node, CrossPad):
+            return self._cross_pad(node)
+        if isinstance(node, UnionAll):
+            parts = [self.run(part).codes for part in node.parts]
+            stacked = np.concatenate(parts, axis=0) if parts else np.empty((0, 0))
+            return _Table(node.attrs, self._k.unique_rows(stacked))
+        raise TypeError(f"not a plan node: {node!r}")
+
+    # -- leaves -------------------------------------------------------------
+
+    def _relation_codes(self, name: str) -> Any:
+        cached = self._relations.get(name)
+        if cached is None:
+            relation = self._state[name]
+            cached = self._codec.encode_rows(tuple(relation.rows), relation.arity)
+            self._relations[name] = cached
+        return cached
+
+    def _scan(self, node: Scan) -> _Table:
+        codes = self._relation_codes(node.relation)
+        mask = np.ones(codes.shape[0], dtype=bool)
+        for index, value in node.constants:
+            if self._codec.encodable(value):
+                mask &= codes[:, index] == self._codec.encode(value)
+            else:
+                mask &= False
+        first_seen: Dict[str, int] = {}
+        for index, name in enumerate(node.columns):
+            if name is None:
+                continue
+            if name in first_seen:
+                mask &= codes[:, index] == codes[:, first_seen[name]]
+            else:
+                first_seen[name] = index
+        output = [first_seen[name] for name in node.attrs]
+        return _Table(node.attrs, self._k.unique_rows(codes[mask][:, output]))
+
+    # -- filters ------------------------------------------------------------
+
+    def _column(self, table: _Table, ref: ValueRef) -> Any:
+        if isinstance(ref, ConstRef):
+            if not self._codec.encodable(ref.value):
+                # A constant outside the universe can never equal any encoded
+                # value; representing it as an impossible code keeps equality
+                # masks correct (inequality masks become all-True).
+                return np.full(table.codes.shape[0], -1, dtype=np.int64)
+            return np.full(
+                table.codes.shape[0], self._codec.encode(ref.value), dtype=np.int64
+            )
+        return table.codes[:, table.attrs.index(ref.name)]
+
+    def _select(self, node: Select) -> _Table:
+        table = self.run(node.source)
+        mask = np.ones(table.codes.shape[0], dtype=bool)
+        for condition in node.conditions:
+            if isinstance(condition, Comparison):
+                hits = self._column(table, condition.left) == self._column(
+                    table, condition.right
+                )
+            else:
+                hits = self._domain_mask(table, condition)
+            mask &= ~hits if condition.negated else hits
+        result = _Table(table.attrs, table.codes[mask])
+        return self._permute(result, node.attrs)
+
+    def _domain_mask(self, table: _Table, condition: DomainCondition) -> Any:
+        if not self._codec.numeric:
+            raise VectorizationError(
+                f"domain predicate {condition.predicate!r} over a "
+                "dictionary-encoded (non-integer) carrier cannot be vectorized"
+            )
+        left = self._column(table, condition.args[0])
+        right = self._column(table, condition.args[1])
+        if condition.predicate == "<":
+            return left < right
+        if condition.predicate == "<=":
+            return left <= right
+        if condition.predicate == ">":
+            return left > right
+        if condition.predicate == ">=":
+            return left >= right
+        raise VectorizationError(  # pre-empted by vectorization_obstacle()
+            f"domain predicate {condition.predicate!r} has no vectorized kernel"
+        )
+
+    def _project(self, node: Project) -> _Table:
+        table = self.run(node.source)
+        columns = [table.attrs.index(name) for name in node.attrs]
+        return _Table(node.attrs, self._k.unique_rows(table.codes[:, columns]))
+
+    def _permute(self, table: _Table, attrs: Tuple[str, ...]) -> _Table:
+        if table.attrs == attrs:
+            return table
+        columns = [table.attrs.index(name) for name in attrs]
+        return _Table(attrs, table.codes[:, columns])
+
+    # -- joins --------------------------------------------------------------
+
+    def _join(self, node: Join) -> _Table:
+        pending = [self.run(part) for part in node.parts]
+        while len(pending) > 1:
+            best = (0, 1)
+            best_cost: Optional[Tuple[bool, int]] = None
+            for i in range(len(pending)):
+                for j in range(i + 1, len(pending)):
+                    shares = bool(set(pending[i].attrs) & set(pending[j].attrs))
+                    cost = (
+                        not shares,
+                        pending[i].codes.shape[0] * pending[j].codes.shape[0],
+                    )
+                    if best_cost is None or cost < best_cost:
+                        best, best_cost = (i, j), cost
+            i, j = best
+            left, right = pending[i], pending.pop(j)
+            pending[i] = self._pairwise_join(left, right)
+        return self._permute(pending[0], node.attrs)
+
+    def _pairwise_join(self, left: _Table, right: _Table) -> _Table:
+        shared = [name for name in left.attrs if name in right.attrs]
+        right_only = [name for name in right.attrs if name not in shared]
+        left_key = [left.attrs.index(name) for name in shared]
+        right_key = [right.attrs.index(name) for name in shared]
+        li, ri = self._k.join_indices(
+            left.codes[:, left_key], right.codes[:, right_key]
+        )
+        rest = [right.attrs.index(name) for name in right_only]
+        joined = np.concatenate(
+            [left.codes[li], right.codes[ri][:, rest]], axis=1
+        )
+        # A natural join of deduplicated tables is itself duplicate-free.
+        return _Table(left.attrs + tuple(right_only), joined)
+
+    def _antijoin(self, node: AntiJoin) -> _Table:
+        left = self.run(node.left)
+        if left.codes.shape[0] == 0:
+            return left
+        right = self.run(node.right)
+        shared = [name for name in left.attrs if name in right.attrs]
+        if not shared:
+            if right.codes.shape[0]:
+                return _Table(left.attrs, left.codes[:0])
+            return left
+        left_key = [left.attrs.index(name) for name in shared]
+        right_key = [right.attrs.index(name) for name in shared]
+        mask = self._k.membership_mask(
+            left.codes[:, left_key], right.codes[:, right_key]
+        )
+        return _Table(left.attrs, left.codes[~mask])
+
+    def _cross_pad(self, node: CrossPad) -> _Table:
+        table = self.run(node.source)
+        codes = table.codes
+        for _ in node.pad:
+            codes = self._k.cross_pad_arrays(codes, self._adom)
+        return _Table(node.attrs, codes)
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def _plan_constants(plan: PlanNode) -> Set[Element]:
+    """Every constant embedded in the plan (scan filters, literals, refs)."""
+    constants: Set[Element] = set()
+    for node in walk_plan(plan):
+        if isinstance(node, Scan):
+            constants.update(value for _, value in node.constants)
+        elif isinstance(node, Literal):
+            constants.update(value for row in node.rows for value in row)
+        elif isinstance(node, Select):
+            for condition in node.conditions:
+                refs: Tuple[ValueRef, ...]
+                if isinstance(condition, Comparison):
+                    refs = (condition.left, condition.right)
+                else:
+                    refs = condition.args
+                constants.update(
+                    ref.value for ref in refs if isinstance(ref, ConstRef)
+                )
+    return constants
+
+
+def run_plan_vectorized(
+    node: PlanNode,
+    state: DatabaseState,
+    adom: Sequence[Element],
+    domain: object = None,
+) -> Set[Row]:
+    """Evaluate a compiled plan on NumPy code tables.
+
+    The contract is identical to :func:`repro.relational.exec.run_plan` —
+    same plan IR, same explicit active domain, same set-of-rows result — and
+    the two executors always agree.  ``domain`` is accepted for signature
+    parity but unused: every domain predicate that vectorizes does so by its
+    standard integer semantics.  Raises :class:`VectorizationError` when the
+    plan, the carrier, or the environment cannot be vectorized; callers fall
+    back to the set executor.
+
+    >>> from repro.relational.exec import AdomScan
+    >>> from repro.relational.schema import DatabaseSchema
+    >>> state = DatabaseState(DatabaseSchema())
+    >>> sorted(run_plan_vectorized(AdomScan(("x",)), state, ["b", "a"]))
+    [('a',), ('b',)]
+    """
+    obstacle = vectorization_obstacle(node)
+    if obstacle is not None:
+        raise VectorizationError(obstacle)
+    universe = set(adom) | set(state.elements()) | _plan_constants(node)
+    codec = ElementCodec.for_universe(tuple(universe))
+    table = _ColumnarExecutor(state, adom, codec).run(node)
+    decode = codec.decode
+    return {tuple(decode(code) for code in row) for row in table.codes.tolist()}

@@ -24,6 +24,17 @@ symbols (e.g. ``succ(x)``) or unknown predicates raise
 evaluator.  A :class:`CompiledQuery` is immutable and state-independent
 (the active domain is resolved at execution time), which is what makes it
 cacheable across repeated queries.
+
+Two invariants tie the compiler to every executor that consumes its plans
+(the set-at-a-time interpreter in :mod:`repro.relational.exec` and the
+vectorized columnar executor in :mod:`repro.relational.columnar`):
+
+* **set semantics** — a plan node denotes a *set* of rows over its ``attrs``;
+  operators may not let duplicates change answers;
+* **active-domain closure** — plans reference the active domain only
+  symbolically (``AdomScan``, ``CrossPad``), and every element an execution
+  can produce comes from the state, the query's constants, or the explicitly
+  supplied extra elements; nothing escapes that universe.
 """
 
 from __future__ import annotations
@@ -84,13 +95,33 @@ class CompilationError(ValueError):
 
 @dataclass(frozen=True)
 class CompiledQuery:
-    """An executable algebra plan for one formula over one schema."""
+    """An executable algebra plan for one formula over one schema.
+
+    >>> from repro.domains.equality import EqualityDomain
+    >>> from repro.experiments.corpora import family_schema
+    >>> from repro.logic.parser import parse_formula
+    >>> from repro.relational.state import DatabaseState
+    >>> grandfather = parse_formula("exists y. (F(x, y) & F(y, z))")
+    >>> compiled = compile_query(grandfather, family_schema(), EqualityDomain())
+    >>> state = DatabaseState(family_schema(), {"F": [(0, 1), (1, 2)]})
+    >>> sorted(compiled.execute(state, EqualityDomain()))
+    [(0, 2)]
+    """
 
     formula: Formula
     #: output attribute order: the free variables, sorted by name (the same
     #: column order the tree-walking evaluator uses)
     output: Tuple[str, ...]
     plan: PlanNode
+
+    def universe(
+        self, state: DatabaseState, extra_elements: Iterable[Element] = ()
+    ) -> List[Element]:
+        """The explicit active domain the plan quantifies over in ``state``:
+        stored elements + query constants + ``extra_elements``, in a
+        deterministic order shared by every execution substrate."""
+        universe = set(active_domain(state, self.formula)) | set(extra_elements)
+        return sorted(universe, key=repr)
 
     def execute(
         self,
@@ -99,8 +130,9 @@ class CompiledQuery:
         extra_elements: Iterable[Element] = (),
     ) -> Relation:
         """Run the plan under active-domain semantics in ``state``."""
-        universe = set(active_domain(state, self.formula)) | set(extra_elements)
-        rows = run_plan(self.plan, state, sorted(universe, key=repr), domain)
+        rows = run_plan(
+            self.plan, state, self.universe(state, extra_elements), domain
+        )
         return Relation(len(self.output), rows)
 
     def summary(self) -> str:
@@ -119,6 +151,16 @@ def compile_query(
     the evaluation of domain atoms (at run time).  Raises
     :class:`CompilationError` when the formula uses function symbols or
     predicates that are neither database relations nor domain predicates.
+
+    >>> from repro.domains.equality import EqualityDomain
+    >>> from repro.experiments.corpora import family_schema
+    >>> from repro.logic.parser import parse_formula
+    >>> grandfather = parse_formula("exists y. (F(x, y) & F(y, z))")
+    >>> compiled = compile_query(grandfather, family_schema(), EqualityDomain())
+    >>> compiled.output
+    ('x', 'z')
+    >>> compiled.summary()
+    '2 scans, 1 project, 1 join'
     """
     functions = sorted(functions_of(formula))
     if functions:

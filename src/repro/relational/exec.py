@@ -21,6 +21,16 @@ returning a set of rows in ``attrs`` order.  Plans reference the active
 domain symbolically (:class:`AdomScan`, :class:`CrossPad`), so one compiled
 plan can be reused across states — that is what makes the session plan cache
 sound.
+
+Invariants shared with the other execution substrates (the tree walker in
+:mod:`repro.relational.calculus` and the vectorized columnar executor in
+:mod:`repro.relational.columnar`):
+
+* **set semantics** — every operator returns a Python ``set`` of rows, so
+  duplicates can never influence an answer;
+* **active-domain closure** — every element in any output row comes from the
+  state, the plan's embedded constants, or the explicit ``adom`` sequence;
+  the executor invents nothing outside that universe.
 """
 
 from __future__ import annotations
@@ -187,7 +197,14 @@ PlanNode = Union[
 
 
 def walk_plan(node: PlanNode) -> Iterator[PlanNode]:
-    """Yield ``node`` and all of its operator subtrees, in pre-order."""
+    """Yield ``node`` and all of its operator subtrees, in pre-order.
+
+    >>> plan = Project(Join((Scan("F", ("x", "y"), (), ("x", "y")),
+    ...                      Scan("F", ("y", "z"), (), ("y", "z"))),
+    ...                     ("x", "y", "z")), ("x",))
+    >>> [type(sub).__name__ for sub in walk_plan(plan)]
+    ['Project', 'Join', 'Scan', 'Scan']
+    """
     yield node
     if isinstance(node, (Select, Project, CrossPad)):
         yield from walk_plan(node.source)
@@ -200,7 +217,14 @@ def walk_plan(node: PlanNode) -> Iterator[PlanNode]:
 
 
 def plan_summary(node: PlanNode) -> str:
-    """A compact operator census, e.g. ``2 scans, 1 join, 1 antijoin``."""
+    """A compact operator census, e.g. ``2 scans, 1 join, 1 antijoin``.
+
+    >>> plan = AntiJoin(Scan("F", ("x", "y"), (), ("x", "y")),
+    ...                 Scan("F", ("y", "x"), (), ("y", "x")),
+    ...                 ("x", "y"))
+    >>> plan_summary(plan)
+    '2 scans, 1 antijoin'
+    """
     labels = {
         Scan: "scan", AdomScan: "adom-scan", Literal: "literal",
         Select: "select", Project: "project", Join: "join",
@@ -424,5 +448,13 @@ def run_plan(
     domain,
 ) -> Set[Row]:
     """Evaluate a compiled plan against a state, an explicit active domain,
-    and a domain interpretation; rows come back in ``node.attrs`` order."""
+    and a domain interpretation; rows come back in ``node.attrs`` order.
+
+    >>> from repro.domains.equality import EqualityDomain
+    >>> from repro.experiments.corpora import family_schema
+    >>> state = DatabaseState(family_schema(), {"F": [(0, 1), (2, 2)]})
+    >>> diagonal = Scan("F", ("x", "x"), (), ("x",))
+    >>> sorted(run_plan(diagonal, state, [0, 1, 2], EqualityDomain()))
+    [(2,)]
+    """
     return _Executor(state, adom, domain).run(node)

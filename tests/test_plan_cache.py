@@ -10,6 +10,7 @@ from repro.engine.plans import (
     ActiveDomainPlan,
     CompiledAlgebraPlan,
     GuardedPlan,
+    VectorizedAlgebraPlan,
     plan_for_strategy,
 )
 from repro.domains.registry import get_entry
@@ -68,16 +69,25 @@ def test_registry_capability_flags():
     assert get_entry("presburger").supports_compiled_algebra
     assert not get_entry("succ").supports_compiled_algebra
     assert not get_entry("traces").supports_compiled_algebra
+    assert get_entry("eq").supports_vectorized
+    assert get_entry("nat<").supports_vectorized
+    # succ's int carrier encodes fine; the flag is declarative until the
+    # domain gains a compiled backend (auto-selection needs both flags).
+    assert get_entry("succ").supports_vectorized
+    assert not get_entry("traces").supports_vectorized
 
 
-def test_guard_certified_equality_queries_use_the_compiled_backend():
+def test_guard_certified_equality_queries_use_the_vectorized_backend():
     session = connect("eq", family_schema())
     plan = session.plan()
     assert isinstance(plan, GuardedPlan)
+    # The vectorized plan is a CompiledAlgebraPlan: same calculus→algebra
+    # compiler, different execution substrate.
+    assert isinstance(plan.inner, VectorizedAlgebraPlan)
     assert isinstance(plan.inner, CompiledAlgebraPlan)
     state = family_state(generations=2)
     result = session.run("exists y. (F(x, y) & F(y, z))", state)
-    assert result.answer.method == "compiled-algebra"
+    assert result.answer.method == "vectorized"
     assert result.answer.rows() == tuple(sorted(
         (f, g) for f, m in state["F"] for m2, g in state["F"] if m == m2
     ))

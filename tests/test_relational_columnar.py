@@ -1,0 +1,382 @@
+"""Tests for the vectorized NumPy columnar executor.
+
+Four layers:
+
+* kernel-level tests for :mod:`repro.relational.kernels` (sort-based join
+  indices, membership masks, broadcast padding, zero-column tables);
+* codec tests for :class:`repro.relational.columnar.ElementCodec`
+  (int64 passthrough vs dictionary encoding of str/mixed/bignum carriers);
+* property-style equivalence: for every experiment query corpus, the
+  vectorized executor, the set-at-a-time executor, and the tree-walking
+  evaluator must return identical row sets over randomized states —
+  including dictionary-encoded string carriers and empty relations;
+* planner/session integration: strategy ``"vectorized"`` selection, the
+  extended plan-cache keys, and the recorded fallback ladder
+  (vectorized → set executor → tree walker).
+"""
+
+import random
+
+import pytest
+
+# numpy is the library's optional accelerator: without it the vectorized
+# executor falls back (covered by test_missing_numpy_falls_back_to_set_executor
+# below, which never touches np); everything else here needs the real thing.
+np = pytest.importorskip("numpy")
+
+from repro import connect
+from repro.domains.equality import EqualityDomain
+from repro.domains.presburger import PresburgerDomain
+from repro.domains.successor import SuccessorDomain
+from repro.engine.plans import (
+    STRATEGIES,
+    CompiledAlgebraPlan,
+    GuardedPlan,
+    VectorizedAlgebraPlan,
+    plan_for_strategy,
+)
+from repro.experiments.corpora import (
+    family_schema,
+    family_state,
+    numeric_state,
+    ordered_query_corpus,
+    presburger_sentences,
+    successor_query_corpus,
+)
+from repro.experiments.exp01_intro_queries import (
+    grandfather_query,
+    more_than_one_son_query,
+    unsafe_disjunction_query,
+    unsafe_negation_query,
+)
+from repro.logic.parser import parse_formula
+from repro.relational import kernels
+from repro.relational.calculus import evaluate_query_active_domain
+from repro.relational.columnar import (
+    ElementCodec,
+    VectorizationError,
+    run_plan_vectorized,
+    vectorization_obstacle,
+)
+from repro.relational.compile import CompilationError, compile_query
+from repro.relational.exec import (
+    AdomScan,
+    AttrRef,
+    DomainCondition,
+    Literal,
+    Select,
+    run_plan,
+)
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.state import DatabaseState
+
+EQ = EqualityDomain()
+PRESBURGER = PresburgerDomain()
+SUCCESSOR = SuccessorDomain()
+
+
+def _family(rows):
+    return DatabaseState(family_schema(), {"F": rows})
+
+
+def _assert_three_way_equivalent(query, state, domain):
+    """Vectorized, set-at-a-time, and tree-walking answers must coincide."""
+    expected = evaluate_query_active_domain(query, state, interpretation=domain)
+    compiled = compile_query(query, state.schema, domain)
+    set_rows = compiled.execute(state, domain).rows
+    vec_rows = run_plan_vectorized(
+        compiled.plan, state, compiled.universe(state), domain
+    )
+    assert set_rows == expected.rows
+    assert vec_rows == expected.rows, (
+        f"vectorized {sorted(vec_rows)} != tree-walk {sorted(expected.rows)} "
+        f"for {query} in {state}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Kernels
+# ---------------------------------------------------------------------------
+
+
+def test_join_indices_matches_nested_loop_join():
+    rng = random.Random(5)
+    for _ in range(20):
+        left = np.array(
+            [[rng.randrange(4), rng.randrange(4)] for _ in range(rng.randrange(0, 9))],
+            dtype=np.int64,
+        ).reshape(-1, 2)
+        right = np.array(
+            [[rng.randrange(4), rng.randrange(4)] for _ in range(rng.randrange(0, 9))],
+            dtype=np.int64,
+        ).reshape(-1, 2)
+        li, ri = kernels.join_indices(left, right)
+        got = sorted(zip(li.tolist(), ri.tolist()))
+        want = sorted(
+            (i, j)
+            for i in range(left.shape[0])
+            for j in range(right.shape[0])
+            if (left[i] == right[j]).all()
+        )
+        assert got == want
+
+
+def test_join_indices_zero_column_keys_are_a_cross_product():
+    left = np.zeros((3, 0), dtype=np.int64)
+    right = np.zeros((2, 0), dtype=np.int64)
+    li, ri = kernels.join_indices(left, right)
+    assert sorted(zip(li.tolist(), ri.tolist())) == [
+        (0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1),
+    ]
+
+
+def test_membership_mask_matches_python_membership():
+    left = np.array([[1, 2], [3, 4], [1, 9]], dtype=np.int64)
+    right = np.array([[1, 2], [7, 7]], dtype=np.int64)
+    assert kernels.membership_mask(left, right).tolist() == [True, False, False]
+    empty = np.empty((0, 2), dtype=np.int64)
+    assert kernels.membership_mask(left, empty).tolist() == [False, False, False]
+    assert kernels.membership_mask(empty, right).tolist() == []
+
+
+def test_unique_rows_and_zero_column_tables():
+    table = np.array([[1, 2], [1, 2], [0, 0]], dtype=np.int64)
+    assert kernels.unique_rows(table).tolist() == [[0, 0], [1, 2]]
+    unit = np.zeros((4, 0), dtype=np.int64)
+    assert kernels.unique_rows(unit).shape == (1, 0)
+    assert kernels.unique_rows(kernels.empty_table(0)).shape == (0, 0)
+
+
+def test_cross_pad_arrays_broadcasts_every_value():
+    table = np.array([[5]], dtype=np.int64)
+    values = np.array([1, 2, 3], dtype=np.int64)
+    assert kernels.cross_pad_arrays(table, values).tolist() == [[5, 1], [5, 2], [5, 3]]
+    none = kernels.cross_pad_arrays(kernels.empty_table(1), values)
+    assert none.shape == (0, 2)
+
+
+# ---------------------------------------------------------------------------
+# Element codec
+# ---------------------------------------------------------------------------
+
+
+def test_codec_is_passthrough_for_machine_integers():
+    codec = ElementCodec.for_universe([0, 5, -3])
+    assert codec.numeric
+    assert codec.encode(5) == 5 and codec.decode(-3) == -3
+    assert codec.encode_rows([(0, 5)], 2).tolist() == [[0, 5]]
+
+
+def test_codec_dictionary_encodes_strings_and_mixed_carriers():
+    codec = ElementCodec.for_universe(["eve", "adam", 3])
+    assert not codec.numeric
+    for element in ("eve", "adam", 3):
+        assert codec.decode(codec.encode(element)) == element
+    # distinct elements get distinct codes
+    assert len({codec.encode(e) for e in ("eve", "adam", 3)}) == 3
+    with pytest.raises(VectorizationError):
+        codec.encode("snake")
+
+
+def test_codec_dictionary_encodes_bignums_beyond_int64():
+    big = 2 ** 80
+    codec = ElementCodec.for_universe([1, big])
+    assert not codec.numeric
+    assert codec.decode(codec.encode(big)) == big
+
+
+def test_domain_predicates_fall_back_on_dictionary_carriers():
+    schema = DatabaseSchema((RelationSchema("S", 1, ("value",)),))
+    state = DatabaseState(schema, {"S": [("a",), ("b",)]})
+    query = parse_formula("exists y. (S(y) & x < y)")
+    compiled = compile_query(query, schema, PRESBURGER)
+    with pytest.raises(VectorizationError, match="dictionary-encoded"):
+        run_plan_vectorized(compiled.plan, state, ["a", "b"], PRESBURGER)
+
+
+def test_vectorization_obstacle_flags_unvectorizable_predicates():
+    assert vectorization_obstacle(AdomScan(("x",))) is None
+    probe = Select(
+        Literal(("x",), ()),
+        (DomainCondition("divides", (AttrRef("x"), AttrRef("x"))),),
+        ("x",),
+    )
+    assert "divides" in vectorization_obstacle(probe)
+
+
+# ---------------------------------------------------------------------------
+# Property-style equivalence over the experiment query corpora
+# ---------------------------------------------------------------------------
+
+_FAMILY_QUERIES = [
+    ("M", more_than_one_son_query()),
+    ("G", grandfather_query()),
+    ("~F", unsafe_negation_query()),
+    ("M|G", unsafe_disjunction_query()),
+]
+
+
+@pytest.mark.parametrize("seed", range(5))
+@pytest.mark.parametrize("name,query", _FAMILY_QUERIES, ids=lambda v: str(v))
+def test_property_family_queries_three_way(seed, name, query):
+    rng = random.Random(4000 + seed)
+    rows = {(rng.randrange(7), rng.randrange(7)) for _ in range(rng.randrange(0, 10))}
+    _assert_three_way_equivalent(query, _family(rows), EQ)
+
+
+@pytest.mark.parametrize("seed", range(3))
+@pytest.mark.parametrize("name,query", _FAMILY_QUERIES, ids=lambda v: str(v))
+def test_property_family_queries_on_string_carriers(seed, name, query):
+    # Person identifiers as strings: the codec must dictionary-encode and the
+    # answers must still match both scalar substrates exactly.
+    names = ["adam", "bala", "cain", "dana", "enos", "eve"]
+    rng = random.Random(5000 + seed)
+    rows = {(rng.choice(names), rng.choice(names)) for _ in range(rng.randrange(0, 10))}
+    _assert_three_way_equivalent(query, _family(rows), EQ)
+
+
+@pytest.mark.parametrize("name,query", _FAMILY_QUERIES, ids=lambda v: str(v))
+def test_property_family_queries_on_empty_relations(name, query):
+    _assert_three_way_equivalent(query, _family([]), EQ)
+
+
+@pytest.mark.parametrize("seed", range(3))
+@pytest.mark.parametrize(
+    "name,query",
+    [(name, query) for name, query, _finite in ordered_query_corpus()],
+    ids=lambda v: str(v),
+)
+def test_property_ordered_corpus_three_way(seed, name, query):
+    rng = random.Random(6000 + seed)
+    values = [rng.randrange(0, 15) for _ in range(rng.randrange(0, 6))]
+    _assert_three_way_equivalent(query, numeric_state(values), PRESBURGER)
+
+
+@pytest.mark.parametrize(
+    "name,sentence",
+    [(name, sentence) for name, sentence, _truth in presburger_sentences()],
+    ids=lambda v: str(v),
+)
+def test_property_presburger_sentences_three_way(name, sentence):
+    # Sentences with ``+`` bail out of compilation before vectorization is
+    # even attempted; the rest must agree with both scalar substrates under
+    # active-domain semantics.
+    state = numeric_state([1, 4, 9])
+    try:
+        compile_query(sentence, state.schema, PRESBURGER)
+    except CompilationError:
+        return
+    _assert_three_way_equivalent(sentence, state, PRESBURGER)
+
+
+@pytest.mark.parametrize("seed", range(3))
+@pytest.mark.parametrize(
+    "name,query",
+    [(name, query) for name, query, _finite in successor_query_corpus()],
+    ids=lambda v: str(v),
+)
+def test_property_successor_corpus_via_plan_fallback(seed, name, query):
+    # Successor queries lean on ``succ`` terms, which never compile; the
+    # vectorized plan must fall all the way back to the tree walker and
+    # return the identical row set, with the reason recorded.
+    rng = random.Random(7000 + seed)
+    values = [rng.randrange(0, 9) for _ in range(rng.randrange(0, 5))]
+    state = numeric_state(values)
+    expected = evaluate_query_active_domain(query, state, interpretation=SUCCESSOR)
+    plan = VectorizedAlgebraPlan(domain=SUCCESSOR)
+    answer = plan.execute(query, state)
+    assert set(answer.rows()) == expected.rows
+    if plan.fallback_reason is not None:
+        assert "fell back" in plan.explain()
+    else:
+        assert answer.method == "vectorized"
+
+
+# ---------------------------------------------------------------------------
+# Planner and session integration
+# ---------------------------------------------------------------------------
+
+
+def test_vectorized_strategy_is_registered():
+    assert "vectorized" in STRATEGIES
+    plan = plan_for_strategy("vectorized", EqualityDomain())
+    assert isinstance(plan, VectorizedAlgebraPlan)
+    assert plan.strategy == "vectorized"
+
+
+def test_auto_prefers_vectorized_over_compiled_for_equality():
+    session = connect("eq", family_schema())
+    plan = session.plan()
+    assert isinstance(plan, GuardedPlan)
+    assert isinstance(plan.inner, VectorizedAlgebraPlan)
+    state = family_state(generations=3)
+    result = session.run("exists y. (F(x, y) & F(y, z))", state)
+    assert result.answer.method == "vectorized"
+    assert "vectorized" in result.plan.inner.explain()
+
+
+def test_explicit_vectorized_strategy_reports_and_answers():
+    session = connect("eq", family_schema())
+    plan = session.plan("vectorized")
+    assert isinstance(plan, VectorizedAlgebraPlan)
+    state = family_state(generations=2)
+    answer = session.execute(plan, "F(x, y)", state)
+    assert answer.method == "vectorized"
+    assert plan.fallback_reason is None
+    assert "strategy 'vectorized'" in plan.explain()
+
+
+def test_plan_cache_keys_separate_compiled_and_vectorized_substrates():
+    session = connect("eq", family_schema())
+    state = family_state(generations=1)
+    session.query("F(x, y)", state, strategy="vectorized")
+    session.query("F(x, y)", state, strategy="compiled")
+    info = session.plan_cache_info()
+    assert info.size == 2 and info.misses == 2
+    session.query("F(x, y)", state, strategy="vectorized")
+    assert session.plan_cache_info().hits == 1
+
+
+def test_traces_fallback_is_recorded_in_explain():
+    schema = DatabaseSchema((RelationSchema("W", 1, ("word",)),))
+    session = connect("traces", schema)
+    plan = session.plan("vectorized")
+    state = session.state(W=[("1",), ("11",)])
+    answer = session.execute(plan, "W(x) & P(x, x, x)", state)
+    # The trace-domain predicate P has no vectorized kernel: execution falls
+    # back to the set-at-a-time executor and explains itself.
+    assert answer.method == "compiled-algebra"
+    assert "P" in plan.fallback_reason
+    assert "fell back" in plan.explain()
+    # The answer still matches the tree walker.
+    expected = evaluate_query_active_domain(
+        session.compile("W(x) & P(x, x, x)"), state, interpretation=session.domain
+    )
+    assert set(answer.rows()) == expected.rows
+
+
+def test_missing_numpy_falls_back_to_set_executor(monkeypatch):
+    # Simulate a numpy-less install: the static obstacle fires before any
+    # array code runs, and the plan answers via the set executor.
+    import repro.relational.columnar as columnar
+
+    monkeypatch.setattr(columnar, "HAVE_NUMPY", False)
+    assert vectorization_obstacle(AdomScan(("x",))) == "numpy is not installed"
+    plan = VectorizedAlgebraPlan(domain=EQ)
+    state = family_state(generations=2)
+    answer = plan.execute(parse_formula("F(x, y)"), state)
+    assert answer.method == "compiled-algebra"
+    assert "numpy is not installed" in plan.fallback_reason
+    assert set(answer.rows()) == state["F"].rows
+
+
+def test_vectorized_plan_respects_extra_elements():
+    state = family_state(generations=2)
+    query = parse_formula("~F(x, y)")
+    walker_rows = CompiledAlgebraPlan(
+        domain=EQ, extra_elements=(99,)
+    ).execute(query, state).rows()
+    vectorized_rows = VectorizedAlgebraPlan(
+        domain=EQ, extra_elements=(99,)
+    ).execute(query, state).rows()
+    assert vectorized_rows == walker_rows

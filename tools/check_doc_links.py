@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Check that markdown cross-links in the documentation suite resolve.
+
+Usage::
+
+    python tools/check_doc_links.py README.md API.md docs/ARCHITECTURE.md
+
+For every ``[text](target)`` link in the given files:
+
+* external targets (``http://``, ``https://``, ``mailto:``) are skipped;
+* relative file targets must exist on disk (resolved against the linking
+  file's directory);
+* anchor targets (``#section`` or ``file.md#section``) must match a heading
+  in the target file, using GitHub's slugification rules (lowercase,
+  punctuation stripped, spaces to hyphens).
+
+Exit status 0 when every link resolves, 1 otherwise; broken links are listed
+one per line.  This is the check behind the CI docs job.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Set
+
+#: ``[text](target)`` — target captured without surrounding whitespace;
+#: images (``![alt](...)``) are checked the same way
+LINK_RE = re.compile(r"\[[^\]]*\]\(\s*<?([^)\s>]+)>?\s*\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line."""
+    # strip inline code/emphasis markers, then non-word punctuation
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_]", "", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> Set[str]:
+    """All anchor slugs available in a markdown file."""
+    slugs: Set[str] = set()
+    counts: dict = {}
+    in_code_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(1))
+        # repeated headings get -1, -2, ... suffixes on GitHub
+        if slug in counts:
+            counts[slug] += 1
+            slugs.add(f"{slug}-{counts[slug]}")
+        else:
+            counts[slug] = 0
+            slugs.add(slug)
+    return slugs
+
+
+def check_file(path: Path) -> List[str]:
+    """Broken-link descriptions for one markdown file."""
+    problems: List[str] = []
+    text = path.read_text(encoding="utf-8")
+    # ignore links inside fenced code blocks
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    for target in LINK_RE.findall(text):
+        if target.startswith(EXTERNAL):
+            continue
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                problems.append(f"{path}: broken link -> {target} (missing file)")
+                continue
+        else:
+            resolved = path.resolve()
+        if anchor:
+            if resolved.suffix.lower() not in (".md", ".markdown"):
+                continue  # anchors into source files are line references
+            if anchor not in heading_slugs(resolved):
+                problems.append(
+                    f"{path}: broken link -> {target} (no heading "
+                    f"#{anchor} in {resolved.name})"
+                )
+    return problems
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print("usage: check_doc_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    problems: List[str] = []
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            problems.append(f"{name}: file not found")
+            continue
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"FAIL: {len(problems)} broken link(s)")
+        return 1
+    print(f"OK: all links in {len(argv)} file(s) resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
