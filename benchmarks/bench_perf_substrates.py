@@ -12,7 +12,12 @@ These characterise how the decision procedures and simulators scale:
   guard-certified queries (the CI regression gate watches this one);
 * the three execution substrates (tree walker / compiled set executor /
   vectorized NumPy columnar executor) head-to-head on int-domain states,
-  asserting the vectorized path wins at the largest size.
+  asserting the vectorized path wins at the largest size;
+* the plan optimizer's blowup guard: the "strictly between two members"
+  query at growing adom sizes, asserting the optimized plan's peak
+  intermediate row count stays O(answer) (no |adom|^2 materialisation), a
+  ≥10× speedup over the unoptimized plan at the largest size, and encode
+  reuse on repeated vectorized executions against an unchanged state.
 """
 
 import time
@@ -134,9 +139,13 @@ def test_perf_compiled_algebra_vs_tree_walk(benchmark, generations):
         ]
 
     fast = benchmark.pedantic(run_compiled, iterations=3, rounds=3)
-    started = time.perf_counter()
-    slow = run_tree_walk()
-    tree_walk_seconds = time.perf_counter() - started
+    # Min of two runs: the speedup ratio feeds the dimensionless CI gate, so
+    # the slow side needs some protection against one-off stalls too.
+    tree_walk_seconds = float("inf")
+    for _ in range(2):
+        started = time.perf_counter()
+        slow = run_tree_walk()
+        tree_walk_seconds = min(tree_walk_seconds, time.perf_counter() - started)
     for fast_answer, slow_answer in zip(fast, slow):
         assert fast_answer.rows == slow_answer.rows
     compiled_seconds = benchmark.stats.stats.min
@@ -172,7 +181,14 @@ def test_perf_vectorized_three_way(benchmark, size):
     state = numeric_state([3 * i + 1 for i in range(size)])
     corpus = {name: query for name, query, _finite in ordered_query_corpus()}
     queries = [corpus["members"], corpus["below-member"]]
-    compiled = [compile_query(q, state.schema, domain) for q in queries]
+    # Pin the *unoptimized* plans: the optimizer collapses these queries to
+    # range scans on which both executors tie in microseconds, and this
+    # benchmark exists to compare the two executors' kernels on identical
+    # pad/filter-shaped plans (the blowup-guard benchmark below covers the
+    # optimizer itself).
+    compiled = [
+        compile_query(q, state.schema, domain, optimize=False) for q in queries
+    ]
 
     def run_vectorized():
         return [
@@ -182,9 +198,12 @@ def test_perf_vectorized_three_way(benchmark, size):
 
     run_vectorized()  # warm numpy's lazy imports before timing
     fast = benchmark.pedantic(run_vectorized, iterations=3, rounds=3)
-    started = time.perf_counter()
-    set_answers = [c.execute(state, domain) for c in compiled]
-    set_seconds = time.perf_counter() - started
+    # Min of three runs: speedup_vs_set feeds the dimensionless CI gate.
+    set_seconds = float("inf")
+    for _ in range(3):
+        started = time.perf_counter()
+        set_answers = [c.execute(state, domain) for c in compiled]
+        set_seconds = min(set_seconds, time.perf_counter() - started)
     started = time.perf_counter()
     tree_answers = [
         evaluate_query_active_domain(q, state, interpretation=domain)
@@ -209,6 +228,83 @@ def test_perf_vectorized_three_way(benchmark, size):
             f"vectorized executor only {speedup_vs_set:.1f}x faster than the "
             f"compiled set executor at {size} stored ints; the ISSUE "
             "requires >=3x"
+        )
+
+
+#: adom sizes for the between-query blowup guard; the last one is where the
+#: ISSUE's ≥10× optimized-vs-unoptimized criterion is checked
+_BETWEEN_SIZES = (16, 32, 64)
+
+
+@pytest.mark.parametrize("size", _BETWEEN_SIZES)
+def test_perf_between_query_blowup_guard(benchmark, size):
+    """The pad-before-filter blowup guard: "strictly between two members" on
+    ``(N, <)`` must scale near-linearly in |adom| under the plan optimizer
+    (peak intermediate rows O(answer), not |adom|^2 · |adom|), beat the
+    unoptimized plan by ≥10× at the largest size, and skip re-encoding on
+    repeated vectorized executions of an unchanged state."""
+    from repro.domains.nat_order import NaturalOrderDomain
+    from repro.relational.columnar import EncodeCache, run_plan_vectorized
+    from repro.relational.exec import ExecutionStats, run_plan
+
+    domain = NaturalOrderDomain()
+    state = numeric_state([3 * i + 1 for i in range(size)])
+    corpus = {name: query for name, query, _finite in ordered_query_corpus()}
+    between = corpus["strictly-between-members"]
+    optimized = compile_query(between, state.schema, domain)
+    unoptimized = compile_query(between, state.schema, domain, optimize=False)
+    adom = optimized.universe(state)
+
+    def run_optimized():
+        return run_plan(optimized.plan, state, adom, domain)
+
+    fast = benchmark.pedantic(run_optimized, iterations=3, rounds=3)
+    # Min of three runs: the recorded speedup ratio feeds the dimensionless
+    # CI gate, so both sides need the same protection against one-off stalls.
+    unoptimized_seconds = float("inf")
+    for _ in range(3):
+        started = time.perf_counter()
+        slow = run_plan(unoptimized.plan, state, adom, domain)
+        unoptimized_seconds = min(
+            unoptimized_seconds, time.perf_counter() - started
+        )
+        assert fast == slow
+
+    # Deterministic near-linearity: the optimized plan's largest intermediate
+    # stays O(answer + |adom|) while the unoptimized one materialises the
+    # cross product of the two scans and its adom pad.
+    optimized_stats = ExecutionStats()
+    run_plan(optimized.plan, state, adom, domain, optimized_stats)
+    unoptimized_stats = ExecutionStats()
+    run_plan(unoptimized.plan, state, adom, domain, unoptimized_stats)
+    assert optimized_stats.peak_rows <= 2 * (len(adom) + len(fast))
+    assert unoptimized_stats.peak_rows >= size * size
+
+    # Encode amortisation: a second vectorized run of the unchanged state
+    # must hit the per-state cache instead of re-encoding the relations.
+    cache = EncodeCache(maxsize=4)
+    first = run_plan_vectorized(optimized.plan, state, adom, domain, cache=cache)
+    second = run_plan_vectorized(optimized.plan, state, adom, domain, cache=cache)
+    assert first == second == fast
+    assert cache.info().misses == 1 and cache.info().hits >= 1
+
+    optimized_seconds = benchmark.stats.stats.min
+    speedup = unoptimized_seconds / optimized_seconds
+    benchmark.extra_info["adom"] = len(adom)
+    benchmark.extra_info["unoptimized_seconds"] = unoptimized_seconds
+    benchmark.extra_info["peak_rows"] = optimized_stats.peak_rows
+    benchmark.extra_info["unoptimized_peak_rows"] = unoptimized_stats.peak_rows
+    benchmark.extra_info["speedup_vs_unoptimized"] = speedup
+    print(
+        f"\n[blowup-guard] adom={len(adom)} "
+        f"unoptimized={unoptimized_seconds:.4f}s "
+        f"optimized={optimized_seconds:.6f}s speedup={speedup:.0f}x "
+        f"peak-rows {unoptimized_stats.peak_rows}->{optimized_stats.peak_rows}"
+    )
+    if size == _BETWEEN_SIZES[-1]:
+        assert speedup >= 10.0, (
+            f"optimized between-query only {speedup:.1f}x faster than the "
+            f"unoptimized plan at |adom|={len(adom)}; the ISSUE requires >=10x"
         )
 
 

@@ -210,6 +210,17 @@ class Session:
         """Hit/miss/eviction counters for the compiled-plan cache."""
         return self._plan_cache.info()
 
+    def encode_cache_info(self):
+        """Counters for the per-state columnar encode cache.
+
+        Unlike the plan cache, the encode cache is process-wide (encoded
+        columns are a property of the state, not of the session), so these
+        counters aggregate across sessions.
+        """
+        from ..relational.columnar import encode_cache_info
+
+        return encode_cache_info()
+
     def __repr__(self) -> str:
         return (
             f"Session(domain={self._domain.name!r}, "

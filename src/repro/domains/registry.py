@@ -69,6 +69,14 @@ class DomainEntry:
     #: the set executor transparently when a specific plan or carrier resists
     #: vectorization, with the reason recorded in ``explain()``.
     supports_vectorized: bool = False
+    #: True when the carrier is totally ordered by the standard integer
+    #: comparison *and* the domain's ``<``/``<=``/``>``/``>=`` predicates
+    #: have exactly that semantics.  The plan optimizer
+    #: (:mod:`repro.relational.optimize`) then replaces adom pads filtered by
+    #: those predicates with interval joins / range scans over the sorted
+    #: active domain, which is what keeps "strictly between two members"-like
+    #: queries linear instead of exponential in arity.
+    ordered_carrier: bool = False
 
 
 _REGISTRY: Dict[str, DomainEntry] = {}
@@ -205,6 +213,7 @@ def _register_builtins() -> None:
         syntax_factory=_finitization_syntax,
         supports_compiled_algebra=True,
         supports_vectorized=True,
+        ordered_carrier=True,
     ))
     register_domain(DomainEntry(
         name="presburger_naturals",
@@ -215,6 +224,7 @@ def _register_builtins() -> None:
         syntax_factory=_finitization_syntax,
         supports_compiled_algebra=True,
         supports_vectorized=True,
+        ordered_carrier=True,
     ))
     register_domain(DomainEntry(
         name="presburger_integers",
@@ -224,6 +234,7 @@ def _register_builtins() -> None:
         syntax_factory=_finitization_syntax_integers,
         supports_compiled_algebra=True,
         supports_vectorized=True,
+        ordered_carrier=True,
     ))
     register_domain(DomainEntry(
         name="naturals_with_successor",

@@ -37,7 +37,9 @@ from ..logic.analysis import free_variables
 from ..logic.formulas import Formula
 from ..relational.calculus import evaluate_query_active_domain
 from ..relational.columnar import (
+    HAVE_NUMPY,
     VectorizationError,
+    encode_cache_info,
     run_plan_vectorized,
     vectorization_obstacle,
 )
@@ -309,6 +311,12 @@ class VectorizedAlgebraPlan(CompiledAlgebraPlan):
 
     def _fallback_note(self) -> str:
         return "; fell back: " + (self.fallback_reason or "")
+
+    def explain(self) -> str:
+        text = super().explain()
+        if HAVE_NUMPY:
+            text += f"; encode cache {encode_cache_info()}"
+        return text
 
 
 @dataclass(frozen=True)

@@ -26,12 +26,17 @@ from .calculus import (
     evaluate_term,
 )
 from .columnar import (
+    EncodeCache,
+    EncodeCacheInfo,
     VectorizationError,
+    encode_cache,
+    encode_cache_info,
     run_plan_vectorized,
     vectorization_obstacle,
 )
 from .compile import CompilationError, CompiledQuery, compile_query
-from .exec import plan_summary, run_plan
+from .exec import ExecutionStats, plan_summary, run_plan
+from .optimize import domain_is_ordered, optimize_plan
 from .schema import DatabaseSchema, RelationSchema
 from .state import DatabaseState, Element, Relation, Row
 from .translate import (
@@ -51,6 +56,8 @@ __all__ = [
     "Interpretation", "evaluate_term", "evaluate_formula", "evaluate_query",
     "evaluate_query_active_domain",
     "CompilationError", "CompiledQuery", "compile_query",
-    "run_plan", "plan_summary",
+    "run_plan", "plan_summary", "ExecutionStats",
+    "optimize_plan", "domain_is_ordered",
     "VectorizationError", "run_plan_vectorized", "vectorization_obstacle",
+    "EncodeCache", "EncodeCacheInfo", "encode_cache", "encode_cache_info",
 ]

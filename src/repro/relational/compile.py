@@ -81,6 +81,7 @@ from .exec import (
     plan_summary,
     run_plan,
 )
+from .optimize import domain_is_ordered, next_pad_column, optimize_plan
 from .schema import DatabaseSchema
 from .state import DatabaseState, Element, Relation
 
@@ -113,6 +114,9 @@ class CompiledQuery:
     #: column order the tree-walking evaluator uses)
     output: Tuple[str, ...]
     plan: PlanNode
+    #: human-readable notes from the plan optimizer (empty when the plan was
+    #: compiled with ``optimize=False`` or nothing rewrote)
+    notes: Tuple[str, ...] = ()
 
     def universe(
         self, state: DatabaseState, extra_elements: Iterable[Element] = ()
@@ -136,14 +140,19 @@ class CompiledQuery:
         return Relation(len(self.output), rows)
 
     def summary(self) -> str:
-        """A compact census of the plan's operators."""
-        return plan_summary(self.plan)
+        """A compact census of the plan's operators, plus optimizer notes."""
+        census = plan_summary(self.plan)
+        if self.notes:
+            census += "; optimizer: " + ", ".join(self.notes)
+        return census
 
 
 def compile_query(
     formula: Formula,
     schema: DatabaseSchema,
     domain,
+    *,
+    optimize: bool = True,
 ) -> CompiledQuery:
     """Compile ``formula`` into an algebra plan over ``schema``.
 
@@ -151,6 +160,11 @@ def compile_query(
     the evaluation of domain atoms (at run time).  Raises
     :class:`CompilationError` when the formula uses function symbols or
     predicates that are neither database relations nor domain predicates.
+
+    The emitted plan is rewritten by the logical optimizer
+    (:mod:`repro.relational.optimize`) unless ``optimize=False`` — the
+    unoptimized plan is kept reachable for benchmarking and differential
+    testing, since both must compute the same answer.
 
     >>> from repro.domains.equality import EqualityDomain
     >>> from repro.experiments.corpora import family_schema
@@ -179,7 +193,11 @@ def compile_query(
     compiler = _Compiler(schema)
     root = compiler.compile(rename_bound_variables(formula))
     output = tuple(sorted(v.name for v in free_variables(formula)))
-    return CompiledQuery(formula, output, _align(root, output))
+    plan = _align(root, output)
+    notes: Tuple[str, ...] = ()
+    if optimize:
+        plan, notes = optimize_plan(plan, ordered=domain_is_ordered(domain))
+    return CompiledQuery(formula, output, plan, notes)
 
 
 # ---------------------------------------------------------------------------
@@ -307,12 +325,36 @@ class _Compiler:
         for negated in antijoins:
             missing |= set(negated.attrs)
         missing -= set(current.attrs)
-        if missing:
-            pad = tuple(sorted(missing))
-            current = CrossPad(current, pad, current.attrs + pad)
-        if leftover:
-            current = Select(
-                current, tuple(condition for condition, _ in leftover), current.attrs
+
+        # Interleaved pad/filter: instead of one CrossPad over every missing
+        # variable followed by one big Select, pad one column at a time and
+        # fire each remaining condition the moment its attributes are bound,
+        # so filters cut the row set between pads rather than after the full
+        # |adom|^k product.  (The optimizer then turns pad+comparison pairs
+        # into interval joins on ordered domains.)
+        pending = list(leftover)
+
+        def attach_ready() -> None:
+            nonlocal current, pending
+            bound = set(current.attrs)
+            ready = [c for c, needed in pending if needed <= bound]
+            if ready:
+                current = _fuse_conditions(current, tuple(ready))
+                pending = [(c, n) for c, n in pending if c not in ready]
+
+        attach_ready()
+        while missing:
+            column = next_pad_column(
+                set(current.attrs),
+                sorted(missing),
+                [needed for _, needed in pending],
+            )
+            missing.remove(column)
+            current = CrossPad(current, (column,), current.attrs + (column,))
+            attach_ready()
+        if pending:  # unreachable by construction, but keep plans total
+            current = _fuse_conditions(
+                current, tuple(condition for condition, _ in pending)
             )
         for negated in antijoins:
             current = AntiJoin(current, negated, current.attrs)
@@ -440,6 +482,12 @@ def _fuse_select(node: PlanNode, condition: Condition) -> PlanNode:
     if isinstance(node, Select):
         return Select(node.source, node.conditions + (condition,), node.attrs)
     return Select(node, (condition,), node.attrs)
+
+
+def _fuse_conditions(node: PlanNode, conditions: Tuple[Condition, ...]) -> PlanNode:
+    for condition in conditions:
+        node = _fuse_select(node, condition)
+    return node
 
 
 def _flatten_and(formula: And) -> List[Formula]:

@@ -12,7 +12,12 @@ query one candidate tuple at a time; the operators here answer it one
   power;
 * **selection pushdown** — the compiler attaches :class:`Comparison` and
   :class:`DomainCondition` filters to the deepest operator that binds their
-  attributes, so rows are discarded before they multiply.
+  attributes, so rows are discarded before they multiply;
+* **interval operators** — on ordered carriers the plan optimizer
+  (:mod:`repro.relational.optimize`) replaces adom pads filtered by
+  ``<``/``<=`` conditions with :class:`IntervalJoin` and :class:`RangeScan`
+  nodes, which generate only the in-range slice of the sorted active domain
+  (binary search here, ``np.searchsorted`` in the columnar executor).
 
 Every node carries its output ``attrs`` (one attribute per free variable of
 the subformula it came from); :func:`run_plan` evaluates a node against a
@@ -35,8 +40,9 @@ Invariants shared with the other execution substrates (the tree walker in
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from .state import DatabaseState, Element, Row
 
@@ -47,16 +53,22 @@ __all__ = [
     "Comparison",
     "DomainCondition",
     "Condition",
+    "Bound",
+    "AggBound",
+    "RangeBound",
     "Scan",
     "AdomScan",
+    "RangeScan",
     "Literal",
     "Select",
     "Project",
     "Join",
     "AntiJoin",
     "CrossPad",
+    "IntervalJoin",
     "UnionAll",
     "PlanNode",
+    "ExecutionStats",
     "run_plan",
     "walk_plan",
     "plan_summary",
@@ -106,6 +118,40 @@ class DomainCondition:
 Condition = Union[Comparison, DomainCondition]
 
 
+@dataclass(frozen=True)
+class Bound:
+    """One side of an interval: a value reference plus inclusivity.
+
+    Interval bounds are only ever emitted by the plan optimizer
+    (:mod:`repro.relational.optimize`) for domains whose carrier is totally
+    ordered by the standard integer comparison, so executors may compare
+    elements with ``int`` semantics instead of calling
+    ``domain.eval_predicate`` pointwise.
+    """
+
+    ref: ValueRef
+    inclusive: bool = False
+
+
+@dataclass(frozen=True)
+class AggBound:
+    """A bound aggregated at run time from a unary subplan.
+
+    ``kind`` is ``"min"`` or ``"max"``.  ``AggBound(P, "min", False)`` as a
+    *lower* bound encodes ``∃a ∈ P: a < x`` (the union of the nested
+    intervals ``(a, ∞)`` is ``(min P, ∞)``); an empty ``P`` makes the bound —
+    and therefore the whole :class:`RangeScan` — empty, which is exactly the
+    semantics of the eliminated existential witness.
+    """
+
+    source: "PlanNode"
+    kind: str
+    inclusive: bool = False
+
+
+RangeBound = Union[Bound, AggBound]
+
+
 # ---------------------------------------------------------------------------
 # Plan nodes
 # ---------------------------------------------------------------------------
@@ -128,6 +174,20 @@ class Scan:
 class AdomScan:
     """The active domain as a unary relation."""
 
+    attrs: Tuple[str, ...]  # exactly one attribute
+
+
+@dataclass(frozen=True)
+class RangeScan:
+    """Adom elements within interval bounds — an order-aware :class:`AdomScan`.
+
+    Bounds are constants (:class:`Bound` over :class:`ConstRef`) or run-time
+    aggregates (:class:`AggBound`); the effective interval is the
+    intersection of all of them (max of the lowers, min of the uppers).
+    """
+
+    lowers: Tuple[RangeBound, ...]
+    uppers: Tuple[RangeBound, ...]
     attrs: Tuple[str, ...]  # exactly one attribute
 
 
@@ -183,6 +243,23 @@ class CrossPad:
 
 
 @dataclass(frozen=True)
+class IntervalJoin:
+    """For each source row, the adom elements within bounds taken from it.
+
+    The order-aware replacement for ``CrossPad`` + pointwise ``Select``: the
+    new ``var`` column ranges over the interval of the (sorted) active domain
+    delimited by the row's bound values instead of over the whole domain.
+    Bound refs are :class:`AttrRef` into the source attrs or :class:`ConstRef`.
+    """
+
+    source: "PlanNode"
+    var: str
+    lowers: Tuple[Bound, ...]
+    uppers: Tuple[Bound, ...]
+    attrs: Tuple[str, ...]  # source attrs + (var,)
+
+
+@dataclass(frozen=True)
 class UnionAll:
     """Set union of parts sharing one attribute list."""
 
@@ -191,8 +268,8 @@ class UnionAll:
 
 
 PlanNode = Union[
-    Scan, AdomScan, Literal, Select, Project, Join, AntiJoin, CrossPad,
-    UnionAll,
+    Scan, AdomScan, RangeScan, Literal, Select, Project, Join, AntiJoin,
+    CrossPad, IntervalJoin, UnionAll,
 ]
 
 
@@ -206,7 +283,7 @@ def walk_plan(node: PlanNode) -> Iterator[PlanNode]:
     ['Project', 'Join', 'Scan', 'Scan']
     """
     yield node
-    if isinstance(node, (Select, Project, CrossPad)):
+    if isinstance(node, (Select, Project, CrossPad, IntervalJoin)):
         yield from walk_plan(node.source)
     elif isinstance(node, (Join, UnionAll)):
         for part in node.parts:
@@ -214,6 +291,10 @@ def walk_plan(node: PlanNode) -> Iterator[PlanNode]:
     elif isinstance(node, AntiJoin):
         yield from walk_plan(node.left)
         yield from walk_plan(node.right)
+    elif isinstance(node, RangeScan):
+        for bound in node.lowers + node.uppers:
+            if isinstance(bound, AggBound):
+                yield from walk_plan(bound.source)
 
 
 def plan_summary(node: PlanNode) -> str:
@@ -226,16 +307,18 @@ def plan_summary(node: PlanNode) -> str:
     '2 scans, 1 antijoin'
     """
     labels = {
-        Scan: "scan", AdomScan: "adom-scan", Literal: "literal",
-        Select: "select", Project: "project", Join: "join",
-        AntiJoin: "antijoin", CrossPad: "adom-pad", UnionAll: "union",
+        Scan: "scan", AdomScan: "adom-scan", RangeScan: "range-scan",
+        Literal: "literal", Select: "select", Project: "project",
+        Join: "join", AntiJoin: "antijoin", CrossPad: "adom-pad",
+        IntervalJoin: "interval-join", UnionAll: "union",
     }
     counts: Dict[str, int] = {}
     for sub in walk_plan(node):
         label = labels[type(sub)]
         counts[label] = counts.get(label, 0) + 1
-    order = ["scan", "adom-scan", "literal", "select", "project", "join",
-             "antijoin", "adom-pad", "union"]
+    order = ["scan", "adom-scan", "range-scan", "literal", "select",
+             "project", "join", "antijoin", "adom-pad", "interval-join",
+             "union"]
     return ", ".join(
         f"{counts[label]} {label}{'s' if counts[label] != 1 else ''}"
         for label in order if label in counts
@@ -247,20 +330,62 @@ def plan_summary(node: PlanNode) -> str:
 # ---------------------------------------------------------------------------
 
 
+@dataclass
+class ExecutionStats:
+    """Row counts observed while running one plan.
+
+    ``peak_rows`` is the largest single operator output the execution
+    materialised — the number the pad-before-filter blowup inflates to
+    ``|adom|^k`` and the plan optimizer keeps at ``O(answer)``.  The
+    blowup-regression tests assert on it because it is deterministic where
+    wall-clock time is noisy.
+    """
+
+    #: largest row set materialised by any single operator (or pairwise join)
+    peak_rows: int = 0
+    #: total rows produced across all operators
+    total_rows: int = 0
+    #: rows produced per operator label, in execution order
+    operator_rows: List[Tuple[str, int]] = field(default_factory=list)
+
+    def record(self, label: str, count: int) -> None:
+        self.peak_rows = max(self.peak_rows, count)
+        self.total_rows += count
+        self.operator_rows.append((label, count))
+
+
 class _Executor:
     """Evaluate plan nodes bottom-up; every method returns a set of rows in
     the node's declared ``attrs`` order."""
 
-    def __init__(self, state: DatabaseState, adom: Sequence[Element], domain) -> None:
+    def __init__(
+        self,
+        state: DatabaseState,
+        adom: Sequence[Element],
+        domain,
+        stats: Optional[ExecutionStats] = None,
+    ) -> None:
         self._state = state
         self._adom = tuple(adom)
         self._domain = domain
+        self._stats = stats
+        #: sorted (int key, element) view of the adom, built on first interval
+        #: operator — int coercion mirrors the ordered domains' eval_predicate
+        self._ordered: Optional[Tuple[List[int], List[Element]]] = None
 
     def run(self, node: PlanNode) -> Set[Row]:
+        result = self._dispatch(node)
+        if self._stats is not None:
+            self._stats.record(type(node).__name__, len(result))
+        return result
+
+    def _dispatch(self, node: PlanNode) -> Set[Row]:
         if isinstance(node, Scan):
             return self._scan(node)
         if isinstance(node, AdomScan):
             return {(element,) for element in self._adom}
+        if isinstance(node, RangeScan):
+            return self._range_scan(node)
         if isinstance(node, Literal):
             return set(node.rows)
         if isinstance(node, Select):
@@ -273,6 +398,8 @@ class _Executor:
             return self._antijoin(node)
         if isinstance(node, CrossPad):
             return self._cross_pad(node)
+        if isinstance(node, IntervalJoin):
+            return self._interval_join(node)
         if isinstance(node, UnionAll):
             result: Set[Row] = set()
             for part in node.parts:
@@ -367,6 +494,10 @@ class _Executor:
             (left_attrs, left_rows) = pending[i]
             (right_attrs, right_rows) = pending.pop(j)
             pending[i] = _hash_join(left_attrs, left_rows, right_attrs, right_rows)
+            # The final merge is the Join node's own output, which run()
+            # records; only intermediate merges are extra materialisations.
+            if self._stats is not None and len(pending) > 1:
+                self._stats.record("Join(pairwise)", len(pending[i][1]))
         attrs, rows = pending[0]
         if attrs == node.attrs:
             return rows
@@ -398,6 +529,93 @@ class _Executor:
         for _ in node.pad:
             rows = {row + (element,) for row in rows for element in self._adom}
         return rows
+
+    # -- interval operators (ordered domains only) --------------------------
+
+    def _ordered_adom(self) -> Tuple[List[int], List[Element]]:
+        """The adom sorted by integer value (parallel key/element lists).
+
+        Elements are coerced with ``int`` exactly like the ordered domains'
+        ``eval_predicate`` coerces comparison arguments, so range generation
+        and pointwise filtering agree element by element (and fail on the
+        same non-numeric carriers).
+        """
+        if self._ordered is None:
+            pairs = [(int(element), element) for element in self._adom]
+            pairs.sort(key=lambda pair: pair[0])
+            self._ordered = (
+                [key for key, _ in pairs], [element for _, element in pairs]
+            )
+        return self._ordered
+
+    @staticmethod
+    def _lower_index(keys: List[int], value: int, inclusive: bool) -> int:
+        return bisect_left(keys, value) if inclusive else bisect_right(keys, value)
+
+    @staticmethod
+    def _upper_index(keys: List[int], value: int, inclusive: bool) -> int:
+        return bisect_right(keys, value) if inclusive else bisect_left(keys, value)
+
+    def _interval_join(self, node: IntervalJoin) -> Set[Row]:
+        rows = self.run(node.source)
+        if not rows or not self._adom:
+            return set()
+        keys, elements = self._ordered_adom()
+        source_attrs = _attrs_of(node.source)
+        index = {name: i for i, name in enumerate(source_attrs)}
+
+        def resolver(ref: ValueRef) -> Callable[[Row], int]:
+            if isinstance(ref, ConstRef):
+                value = int(ref.value)
+                return lambda row: value
+            position = index[ref.name]
+            return lambda row: int(row[position])
+
+        lowers = [(resolver(b.ref), b.inclusive) for b in node.lowers]
+        uppers = [(resolver(b.ref), b.inclusive) for b in node.uppers]
+        result: Set[Row] = set()
+        for row in rows:
+            lo, hi = 0, len(keys)
+            for get, inclusive in lowers:
+                lo = max(lo, self._lower_index(keys, get(row), inclusive))
+            for get, inclusive in uppers:
+                hi = min(hi, self._upper_index(keys, get(row), inclusive))
+            for element in elements[lo:hi]:
+                result.add(row + (element,))
+        return result
+
+    def _range_scan(self, node: RangeScan) -> Set[Row]:
+        # Aggregate bounds first: an empty aggregate source means the
+        # eliminated existential has no witness, so the scan is empty before
+        # any adom element is examined (mirroring the unoptimized plan, which
+        # never reaches its Select either).
+        resolved: List[Tuple[bool, int, bool]] = []  # (is_lower, key, inclusive)
+        for is_lower, bounds in ((True, node.lowers), (False, node.uppers)):
+            for bound in bounds:
+                if isinstance(bound, AggBound):
+                    column = self.run(bound.source)
+                    if not column:
+                        return set()
+                    values = [int(row[0]) for row in column]
+                    key = min(values) if bound.kind == "min" else max(values)
+                elif isinstance(bound.ref, ConstRef):
+                    key = int(bound.ref.value)
+                else:
+                    raise TypeError(
+                        f"RangeScan bounds must be constants or aggregates, "
+                        f"got {bound!r}"
+                    )
+                resolved.append((is_lower, key, bound.inclusive))
+        if not self._adom:
+            return set()
+        keys, elements = self._ordered_adom()
+        lo, hi = 0, len(keys)
+        for is_lower, key, inclusive in resolved:
+            if is_lower:
+                lo = max(lo, self._lower_index(keys, key, inclusive))
+            else:
+                hi = min(hi, self._upper_index(keys, key, inclusive))
+        return {(element,) for element in elements[lo:hi]}
 
 
 def _attrs_of(node: PlanNode) -> Tuple[str, ...]:
@@ -446,9 +664,13 @@ def run_plan(
     state: DatabaseState,
     adom: Sequence[Element],
     domain,
+    stats: Optional[ExecutionStats] = None,
 ) -> Set[Row]:
     """Evaluate a compiled plan against a state, an explicit active domain,
     and a domain interpretation; rows come back in ``node.attrs`` order.
+
+    Pass an :class:`ExecutionStats` to observe per-operator row counts (the
+    blowup-guard regression tests assert on its ``peak_rows``).
 
     >>> from repro.domains.equality import EqualityDomain
     >>> from repro.experiments.corpora import family_schema
@@ -457,4 +679,4 @@ def run_plan(
     >>> sorted(run_plan(diagonal, state, [0, 1, 2], EqualityDomain()))
     [(2,)]
     """
-    return _Executor(state, adom, domain).run(node)
+    return _Executor(state, adom, domain, stats).run(node)

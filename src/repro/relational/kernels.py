@@ -41,6 +41,8 @@ __all__ = [
     "join_indices",
     "membership_mask",
     "cross_pad_arrays",
+    "expand_ranges",
+    "interval_pad",
 ]
 
 #: the dtype every column of a code table uses
@@ -117,8 +119,13 @@ def key_codes(left: "np.ndarray", right: "np.ndarray") -> Tuple["np.ndarray", "n
     return codes[: left.shape[0]], codes[left.shape[0]:]
 
 
-def _expand_ranges(starts: "np.ndarray", counts: "np.ndarray") -> "np.ndarray":
-    """Concatenate ``arange(starts[i], starts[i] + counts[i])`` for every i."""
+def expand_ranges(starts: "np.ndarray", counts: "np.ndarray") -> "np.ndarray":
+    """Concatenate ``arange(starts[i], starts[i] + counts[i])`` for every i.
+
+    >>> import numpy as np
+    >>> expand_ranges(np.array([4, 0, 9]), np.array([2, 0, 3])).tolist()
+    [4, 5, 9, 10, 11]
+    """
     total = int(counts.sum())
     if total == 0:
         return np.empty(0, dtype=CODE_DTYPE)
@@ -127,6 +134,32 @@ def _expand_ranges(starts: "np.ndarray", counts: "np.ndarray") -> "np.ndarray":
     offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
     group = np.repeat(np.arange(starts.shape[0]), counts)
     return np.arange(total) - offsets[group] + starts[group]
+
+
+def interval_pad(
+    table: "np.ndarray",
+    values_sorted: "np.ndarray",
+    starts: "np.ndarray",
+    ends: "np.ndarray",
+) -> "np.ndarray":
+    """Append per-row slices of a sorted value array as a new column.
+
+    Row ``i`` of ``table`` is repeated once per value in
+    ``values_sorted[starts[i]:ends[i]]`` with that value appended on the
+    right — the array form of the ``IntervalJoin`` operator, with the range
+    indices typically produced by ``np.searchsorted`` over the sorted active
+    domain.  Empty (or inverted) ranges contribute no rows.
+
+    >>> import numpy as np
+    >>> t = np.array([[7], [8]], dtype=np.int64)
+    >>> values = np.array([10, 20, 30], dtype=np.int64)
+    >>> interval_pad(t, values, np.array([0, 1]), np.array([2, 1])).tolist()
+    [[7, 10], [7, 20]]
+    """
+    counts = np.maximum(ends - starts, 0)
+    repeated = table[np.repeat(np.arange(table.shape[0]), counts)]
+    padded = values_sorted[expand_ranges(starts, counts)].reshape(-1, 1)
+    return np.concatenate([repeated, padded], axis=1)
 
 
 def join_indices(
@@ -155,7 +188,7 @@ def join_indices(
     ends = np.searchsorted(sorted_codes, left_codes, side="right")
     counts = ends - starts
     li = np.repeat(np.arange(n), counts)
-    ri = order[_expand_ranges(starts, counts)]
+    ri = order[expand_ranges(starts, counts)]
     return li, ri
 
 

@@ -128,11 +128,35 @@ class DatabaseState:
         return name in self.relations
 
     def elements(self) -> FrozenSet[Element]:
-        """All domain elements stored anywhere in the state."""
-        result = frozenset()
-        for relation in self.relations.values():
-            result |= relation.elements()
-        return result
+        """All domain elements stored anywhere in the state (memoised)."""
+        cached = self.__dict__.get("_elements")
+        if cached is None:
+            cached = frozenset(
+                value
+                for relation in self.relations.values()
+                for row in relation.rows
+                for value in row
+            )
+            object.__setattr__(self, "_elements", cached)
+        return cached
+
+    def fingerprint(self) -> int:
+        """A stable content hash of the state, computed once and memoised.
+
+        States are immutable value objects, so the fingerprint never goes
+        stale; it is what makes states cheap dictionary keys for the
+        per-state caches (the columnar encode cache, the memoised
+        relative-safety verdicts) — without it every lookup would re-hash
+        every stored row.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            cached = hash((self.schema, tuple(sorted(
+                (name, relation.rows)
+                for name, relation in self.relations.items()
+            ))))
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
     def with_relation(
         self, name: str, rows: Union[Relation, Iterable[Sequence[Element]]]
@@ -156,9 +180,7 @@ class DatabaseState:
         return self.schema == other.schema and self.relations == other.relations
 
     def __hash__(self) -> int:
-        return hash((self.schema, tuple(sorted(
-            (name, relation.rows) for name, relation in self.relations.items()
-        ))))
+        return self.fingerprint()
 
     def __str__(self) -> str:
         parts = [f"{name}: {relation}" for name, relation in sorted(self.relations.items())]

@@ -143,12 +143,36 @@ class OrderedRelativeSafety(RelativeSafetyDecider):
 
     name = "finitization-equivalence"
 
-    def __init__(self, domain: Optional[Domain] = None):
+    def __init__(self, domain: Optional[Domain] = None, memo_size: int = 64):
         self._domain = domain or PresburgerDomain()
         if not self._domain.has_decidable_theory:
             raise ValueError("Theorem 2.5 requires a decidable extension of (N, <)")
+        # Verdicts memoised per (formula, state fingerprint): expanding the
+        # database atoms builds a disjunction per stored row and the decision
+        # procedure then quantifier-eliminates it, so a guarded serving
+        # workload re-deciding the same query on an unchanged state pays the
+        # full cost every time without this.  Both keys are immutable value
+        # objects (states carry a cached fingerprint hash), so entries can
+        # never go stale.  Imported lazily — repro.engine imports this module
+        # at package-init time.
+        from ..engine.plan_cache import PlanCache
+
+        self._verdicts = PlanCache(maxsize=memo_size)
+
+    def memo_info(self):
+        """Hit/miss/eviction counters of the per-(formula, state) memo."""
+        return self._verdicts.info()
 
     def decide(self, query: Formula, state: DatabaseState) -> SafetyVerdict:
+        key = (query, state)
+        cached = self._verdicts.get(key)
+        if cached is not None:
+            return cached
+        verdict = self._decide_uncached(query, state)
+        self._verdicts.put(key, verdict)
+        return verdict
+
+    def _decide_uncached(self, query: Formula, state: DatabaseState) -> SafetyVerdict:
         pure = expand_database_atoms(query, state)
         # The answer columns are the free variables of the *query*; expanding the
         # database atoms may make some of them vanish syntactically (e.g. when a

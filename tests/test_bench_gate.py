@@ -1,0 +1,88 @@
+"""Unit tests for the benchmark regression gate (benchmarks/compare_bench.py).
+
+The gate has two dimensions: machine-dependent medians (slower-than-baseline
+fails) and machine-normalised speedup ratios recorded in ``extra_info``
+(smaller-than-baseline fails).  The ratio gate is what keeps the baseline
+portable across runner hardware, so it gets deterministic coverage here.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_GATE_PATH = pathlib.Path(__file__).parent.parent / "benchmarks" / "compare_bench.py"
+_spec = importlib.util.spec_from_file_location("compare_bench", _GATE_PATH)
+compare_bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(compare_bench)
+
+
+def _bench_file(tmp_path, name, entries):
+    payload = {
+        "benchmarks": [
+            {
+                "fullname": fullname,
+                "stats": {"median": median},
+                "extra_info": extra,
+            }
+            for fullname, median, extra in entries
+        ]
+    }
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def test_load_benchmarks_extracts_medians_and_speedup_ratios(tmp_path):
+    path = _bench_file(tmp_path, "b.json", [
+        ("t::a", 0.5, {"speedup_vs_set": 12.0, "rows": 100}),
+        ("t::b", 0.25, {}),
+    ])
+    medians, ratios = compare_bench.load_benchmarks(path)
+    assert medians == {"t::a": 0.5, "t::b": 0.25}
+    assert ratios == {"t::a::speedup_vs_set": 12.0}  # non-speedup keys ignored
+
+
+def test_median_regression_fails_the_gate(tmp_path, capsys):
+    baseline = _bench_file(tmp_path, "base.json", [("t::a", 0.1, {})])
+    current = _bench_file(tmp_path, "cur.json", [("t::a", 0.2, {})])
+    assert compare_bench.main([baseline, current, "--tolerance", "1.25"]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_ratio_regression_fails_even_when_medians_improve(tmp_path, capsys):
+    # A faster machine hides a real speedup collapse from the median gate —
+    # the dimensionless ratio gate catches it anyway.
+    baseline = _bench_file(
+        tmp_path, "base.json", [("t::a", 0.1, {"speedup_vs_set": 30.0})]
+    )
+    current = _bench_file(
+        tmp_path, "cur.json", [("t::a", 0.05, {"speedup_vs_set": 2.0})]
+    )
+    assert compare_bench.main([baseline, current]) == 1
+    out = capsys.readouterr().out
+    assert "speedup" in out and "REGRESSION" in out
+
+
+def test_ratio_within_tolerance_passes(tmp_path):
+    baseline = _bench_file(
+        tmp_path, "base.json", [("t::a", 0.1, {"speedup_vs_set": 30.0})]
+    )
+    current = _bench_file(
+        tmp_path, "cur.json", [("t::a", 0.11, {"speedup_vs_set": 25.0})]
+    )
+    assert compare_bench.main([baseline, current]) == 0
+
+
+@pytest.mark.parametrize("side", ["baseline", "current"])
+def test_unmatched_benchmarks_and_ratios_never_fail(tmp_path, side):
+    entries = [("t::a", 0.1, {"speedup_vs_set": 5.0})]
+    empty = []
+    baseline = _bench_file(
+        tmp_path, "base.json", entries if side == "baseline" else empty
+    )
+    current = _bench_file(
+        tmp_path, "cur.json", entries if side == "current" else empty
+    )
+    assert compare_bench.main([baseline, current]) == 0
