@@ -61,7 +61,8 @@ class FiniteAnswer(Answer):
     """A completely materialised finite answer."""
 
     relation: Relation
-    method: str = ""
+    # The field satisfies the abstract read-only property of the base class.
+    method: str = ""  # type: ignore
 
     @property
     def is_finite(self) -> Optional[bool]:
@@ -86,7 +87,7 @@ class InfiniteAnswer(Answer):
 
     sample: Relation
     reason: str = ""
-    method: str = ""
+    method: str = ""  # type: ignore
 
     @property
     def is_finite(self) -> Optional[bool]:
@@ -112,7 +113,7 @@ class UnknownAnswer(Answer):
 
     partial: Relation
     reason: str = ""
-    method: str = ""
+    method: str = ""  # type: ignore
 
     @property
     def is_finite(self) -> Optional[bool]:

@@ -35,6 +35,7 @@ from typing import ClassVar, Optional, Tuple
 from ..domains.base import Domain, TheoryUndecidableError
 from ..logic.analysis import free_variables
 from ..logic.formulas import Formula
+from ..relational.bounds import NarrowingStats
 from ..relational.calculus import evaluate_query_active_domain
 from ..relational.columnar import (
     HAVE_NUMPY,
@@ -117,25 +118,43 @@ class Plan(ABC):
         return text
 
 
-@dataclass(frozen=True)
+@dataclass(eq=False)
 class ActiveDomainPlan(Plan):
-    """Evaluate under active-domain semantics (always finite by construction)."""
+    """Evaluate under active-domain semantics (always finite by construction).
+
+    On registry-flagged ordered carriers the tree walker narrows each
+    quantifier's candidate range to the interval union inferred by the
+    shared bound analysis (:mod:`repro.relational.bounds`) — bisected over
+    the value-sorted active domain — instead of iterating the full domain
+    per quantifier; :meth:`explain` reports what the narrowing did.
+    """
 
     domain: Domain
     budget: Budget = field(default_factory=Budget)
     extra_elements: Tuple[Element, ...] = ()
     reason: str = "active-domain semantics keeps every answer finite by construction"
+    #: what quantifier-range narrowing did during the last execution
+    last_narrowing: Optional[str] = None
 
     strategy = "active-domain"
 
     def execute(self, query: Formula, state: DatabaseState) -> Answer:
+        stats = NarrowingStats()
         relation = evaluate_query_active_domain(
             query,
             state,
             interpretation=self.domain,
             extra_elements=self.extra_elements,
+            stats=stats,
         )
+        self.last_narrowing = stats.describe() if stats.enabled else None
         return FiniteAnswer(relation, method="active-domain")
+
+    def explain(self) -> str:
+        text = super().explain()
+        if self.last_narrowing:
+            text += "; " + self.last_narrowing
+        return text
 
 
 @dataclass(eq=False)
@@ -319,13 +338,23 @@ class VectorizedAlgebraPlan(CompiledAlgebraPlan):
         return text
 
 
-@dataclass(frozen=True)
+@dataclass(eq=False)
 class EnumerationPlan(Plan):
-    """Run the Section 1.1 enumeration algorithm (needs a decidable theory)."""
+    """Run the Section 1.1 enumeration algorithm (needs a decidable theory).
+
+    The candidate search is seeded with the compiled active-domain superset
+    intersected with the inferred interval bounds of the free variables
+    (:mod:`repro.relational.bounds`), so on decidable ordered domains the
+    number of decision-procedure calls is bounded by the compiled answer
+    instead of ``max_candidates``; :meth:`explain` reports which generator
+    ran and how many candidates it tested.
+    """
 
     domain: Domain
     budget: Budget = field(default_factory=Budget)
     reason: str = "the enumeration algorithm answers any finite query exactly"
+    #: candidate-generator report of the last execution
+    last_candidates: Optional[str] = None
 
     strategy = "enumeration"
 
@@ -335,9 +364,20 @@ class EnumerationPlan(Plan):
                 f"domain {self.domain.name!r} has no decision procedure; "
                 "enumeration-based answering is unavailable"
             )
-        from .enumeration import answer_by_enumeration
+        from .enumeration import CandidateStats, answer_by_enumeration
 
-        return answer_by_enumeration(query, state, self.domain, budget=self.budget)
+        stats = CandidateStats()
+        answer = answer_by_enumeration(
+            query, state, self.domain, budget=self.budget, stats=stats
+        )
+        self.last_candidates = stats.describe()
+        return answer
+
+    def explain(self) -> str:
+        text = super().explain()
+        if self.last_candidates:
+            text += "; " + self.last_candidates
+        return text
 
 
 @dataclass(frozen=True)

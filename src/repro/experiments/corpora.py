@@ -40,7 +40,10 @@ __all__ = [
     "family_state",
     "numeric_schema",
     "numeric_state",
+    "span_schema",
+    "span_state",
     "ordered_query_corpus",
+    "span_query_corpus",
     "successor_query_corpus",
     "presburger_sentences",
     "input_word_sample",
@@ -141,6 +144,26 @@ def numeric_state(values: Sequence[int]) -> DatabaseState:
     return DatabaseState(numeric_schema(), {"S": [(int(v),) for v in values]})
 
 
+def span_schema() -> DatabaseSchema:
+    """Numbers ``S/1`` plus spans ``R/2`` — the schema whose queries bound a
+    variable on *both* sides from one witness row (``R(y, z) ∧ y < x ∧ x < z``),
+    exercising the union-of-intervals reduction."""
+    return DatabaseSchema((
+        RelationSchema("S", 1, ("value",)),
+        RelationSchema("R", 2, ("lo", "hi")),
+    ))
+
+
+def span_state(
+    values: Sequence[int], spans: Sequence[Tuple[int, int]]
+) -> DatabaseState:
+    """A state over :func:`span_schema` with the given numbers and spans."""
+    return DatabaseState(span_schema(), {
+        "S": [(int(v),) for v in values],
+        "R": [(int(lo), int(hi)) for lo, hi in spans],
+    })
+
+
 # ---------------------------------------------------------------------------
 # Query corpora
 # ---------------------------------------------------------------------------
@@ -168,6 +191,36 @@ def ordered_query_corpus() -> List[Tuple[str, Formula, bool]]:
          disj(atom("S", x), exists("y", conj(atom("S", y), atom("<", y, x)))), False),
     ]
     return queries
+
+
+def span_query_corpus() -> List[Tuple[str, Formula, bool]]:
+    """(name, query, is_finite) triples over :func:`span_schema` and ``(N, <)``.
+
+    The corpus concentrates on *both-sided* witness bounds: one stored row
+    bounds the free variable below and above at once, so the per-witness
+    intervals are not nested and only a union-of-intervals reduction keeps
+    evaluation linear.
+    """
+    x, y, z = var("x"), var("y"), var("z")
+    return [
+        ("covered-by-span",
+         exists("y", exists("z", conj(atom("R", y, z),
+                                      atom("<", y, x), atom("<", x, z)))), True),
+        ("covered-inclusive",
+         exists("y", exists("z", conj(atom("R", y, z),
+                                      atom("<=", y, x), atom("<=", x, z)))), True),
+        ("pinched-member",
+         exists("y", conj(atom("S", y), atom("<=", y, x), atom("<=", x, y))), True),
+        ("empty-pinch",
+         exists("y", conj(atom("S", y), atom("<", y, x), atom("<", x, y))), True),
+        ("span-or-member",
+         disj(atom("S", x),
+              exists("y", exists("z", conj(atom("R", y, z),
+                                           atom("<", y, x), atom("<", x, z))))), True),
+        ("uncovered", neg(exists("y", exists("z", conj(atom("R", y, z),
+                                                       atom("<", y, x),
+                                                       atom("<", x, z))))), False),
+    ]
 
 
 def successor_query_corpus() -> List[Tuple[str, Formula, bool]]:

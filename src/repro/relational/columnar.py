@@ -72,6 +72,7 @@ from .exec import (
     CrossPad,
     DomainCondition,
     IntervalJoin,
+    IntervalUnionScan,
     Join,
     Literal,
     PlanNode,
@@ -165,16 +166,34 @@ class ElementCodec:
       (scans, joins, antijoins, comparisons) still vectorize, but domain
       predicates do not, because codes no longer carry the numeric value.
 
+    Dictionary tables can *grow monotonically*: :meth:`extend` appends the
+    new elements after the existing ones, so every previously assigned code
+    stays valid — which is what lets the encode cache keep serving a state's
+    already-encoded columns across codec changes (new query constants
+    outside the carrier) instead of re-encoding from scratch.
+
     >>> codec = ElementCodec.for_universe([10, 3])
     >>> codec.numeric, codec.encode(10)
     (True, 10)
     >>> named = ElementCodec.for_universe(["eve", "adam"])
     >>> named.numeric, named.decode(named.encode("eve"))
     (False, 'eve')
+    >>> grown = named.extend(["cain"])
+    >>> grown.encode("eve") == named.encode("eve"), grown.decode(grown.encode("cain"))
+    (True, 'cain')
     """
 
-    def __init__(self, numeric: bool, table: Tuple[Element, ...]):
+    def __init__(
+        self,
+        numeric: bool,
+        table: Tuple[Element, ...],
+        *,
+        growing: bool = False,
+    ):
         self.numeric = numeric
+        #: True for cache-managed dictionary codecs whose table only ever
+        #: grows (append-only), making their encoded columns reusable
+        self.growing = growing
         self._table = table
         self._codes: Dict[Element, int] = {
             element: code for code, element in enumerate(table)
@@ -191,6 +210,26 @@ class ElementCodec:
         ):
             return cls(numeric=True, table=())
         return cls(numeric=False, table=tuple(sorted(universe, key=repr)))
+
+    def extend(self, elements: Sequence[Element]) -> "ElementCodec":
+        """A codec that also covers ``elements``, preserving existing codes.
+
+        New elements are appended after the current table (sorted among
+        themselves for determinism), so the result encodes every previously
+        encodable element to the same code — append-only dictionary growth.
+        Returns ``self`` when nothing is new.
+        """
+        if self.numeric:
+            return self
+        fresh = sorted(
+            {element for element in elements if element not in self._codes},
+            key=repr,
+        )
+        if not fresh:
+            return self
+        return ElementCodec(
+            False, self._table + tuple(fresh), growing=self.growing
+        )
 
     def encode(self, element: Element) -> int:
         """The code of one element (raises on elements outside the universe)."""
@@ -231,10 +270,15 @@ class ElementCodec:
         All numeric (passthrough) codecs encode identically; dictionary
         codecs encode identically iff their tables agree.  The encode cache
         keys entries by this, so plans with different constants can share one
-        state's encoded columns whenever their codecs agree.
+        state's encoded columns whenever their codecs agree.  Cache-managed
+        *growing* dictionary codecs share one stable key: their table only
+        ever appends, so columns encoded under an earlier table version stay
+        valid under every later one.
         """
         if self.numeric:
             return ("numeric",)
+        if self.growing:
+            return ("dictionary-growing",)
         return ("dictionary", self._table)
 
 
@@ -252,11 +296,13 @@ class EncodeCacheInfo:
     evictions: int
     size: int
     maxsize: int
+    #: dictionary-table growth events (codec changes served without re-encode)
+    grown: int = 0
 
     def __str__(self) -> str:
         return (
             f"hits={self.hits} misses={self.misses} evictions={self.evictions} "
-            f"size={self.size}/{self.maxsize}"
+            f"size={self.size}/{self.maxsize} grown={self.grown}"
         )
 
 
@@ -282,9 +328,12 @@ class EncodeCache:
             raise ValueError(f"maxsize must be non-negative, got {maxsize!r}")
         self._maxsize = maxsize
         self._entries: "OrderedDict[Any, Dict[str, Any]]" = OrderedDict()
+        #: per-entry growing dictionary codecs, evicted together with entries
+        self._codecs: Dict[Any, ElementCodec] = {}
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._grown = 0
 
     @property
     def maxsize(self) -> int:
@@ -292,6 +341,34 @@ class EncodeCache:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def codec_for(
+        self, state: DatabaseState, universe: Sequence[Element]
+    ) -> ElementCodec:
+        """The codec to encode ``universe`` against ``state``'s cached columns.
+
+        Numeric (passthrough) universes get the shared numeric codec.  For
+        dictionary carriers the cache keeps one *growing* codec per state:
+        a codec change (new constants outside the carrier) appends the new
+        elements to the existing table instead of rebuilding it, so every
+        column already encoded for the state stays valid — the codec-change
+        path hits the cache instead of re-encoding from scratch.
+        """
+        candidate = ElementCodec.for_universe(tuple(universe))
+        if candidate.numeric or self._maxsize == 0:
+            return candidate
+        key = (state, ("dictionary-growing",))
+        prior = self._codecs.get(key)
+        if prior is None:
+            grown = ElementCodec(
+                False, tuple(sorted(set(universe), key=repr)), growing=True
+            )
+        else:
+            grown = prior.extend(tuple(universe))
+            if grown is not prior:
+                self._grown += 1
+        self._codecs[key] = grown
+        return grown
 
     def columns_for(
         self, state: DatabaseState, codec: ElementCodec
@@ -309,13 +386,15 @@ class EncodeCache:
             return entry
         self._entries[key] = entry
         while len(self._entries) > self._maxsize:
-            self._entries.popitem(last=False)
+            evicted_key, _ = self._entries.popitem(last=False)
+            self._codecs.pop(evicted_key, None)
             self._evictions += 1
         return entry
 
     def clear(self) -> None:
         """Drop every entry (the counters survive)."""
         self._entries.clear()
+        self._codecs.clear()
 
     def info(self) -> EncodeCacheInfo:
         """Hit/miss/eviction counters and current occupancy."""
@@ -325,6 +404,7 @@ class EncodeCache:
             evictions=self._evictions,
             size=len(self._entries),
             maxsize=self._maxsize,
+            grown=self._grown,
         )
 
 
@@ -390,6 +470,8 @@ class _ColumnarExecutor:
             return self._range_scan(node)
         if isinstance(node, IntervalJoin):
             return self._interval_join(node)
+        if isinstance(node, IntervalUnionScan):
+            return self._interval_union_scan(node)
         if isinstance(node, Literal):
             rows = tuple(set(node.rows))
             return _Table(node.attrs, self._codec.encode_rows(rows, len(node.attrs)))
@@ -573,9 +655,10 @@ class _ColumnarExecutor:
                 "dictionary-encoded (non-integer) carrier cannot be vectorized"
             )
 
-    def _interval_join(self, node: IntervalJoin) -> _Table:
-        self._require_numeric(node)
-        table = self.run(node.source)
+    def _row_ranges(
+        self, node: "IntervalJoin | IntervalUnionScan", table: _Table
+    ) -> Tuple[Any, Any]:
+        """Per-source-row ``[start, end)`` ranges over the sorted adom."""
         adom = self._sorted_adom()
         rows = table.codes.shape[0]
         starts = np.zeros(rows, dtype=np.int64)
@@ -588,9 +671,27 @@ class _ColumnarExecutor:
             column = self._column(table, bound.ref)
             side = "right" if bound.inclusive else "left"
             np.minimum(ends, np.searchsorted(adom, column, side=side), out=ends)
+        return starts, ends
+
+    def _interval_join(self, node: IntervalJoin) -> _Table:
+        self._require_numeric(node)
+        table = self.run(node.source)
+        adom = self._sorted_adom()
+        starts, ends = self._row_ranges(node, table)
         codes = self._k.interval_pad(table.codes, adom, starts, ends)
         # Distinct source rows × distinct adom values stay distinct.
         return _Table(node.attrs, codes)
+
+    def _interval_union_scan(self, node: IntervalUnionScan) -> _Table:
+        # The union-of-intervals reduction: cover the sorted adom with every
+        # witness row's range and emit only the covered slice — O(answer)
+        # output without materialising the per-row pairs first.
+        self._require_numeric(node)
+        table = self.run(node.source)
+        adom = self._sorted_adom()
+        starts, ends = self._row_ranges(node, table)
+        mask = self._k.range_union_mask(starts, ends, int(adom.shape[0]))
+        return _Table(node.attrs, adom[mask].reshape(-1, 1))
 
     def _range_scan(self, node: RangeScan) -> _Table:
         self._require_numeric(node)
@@ -647,7 +748,7 @@ def _plan_constants(plan: PlanNode) -> Set[Element]:
                 constants.update(
                     ref.value for ref in refs if isinstance(ref, ConstRef)
                 )
-        elif isinstance(node, IntervalJoin):
+        elif isinstance(node, (IntervalJoin, IntervalUnionScan)):
             constants.update(
                 bound.ref.value
                 for bound in node.lowers + node.uppers
@@ -696,12 +797,16 @@ def run_plan_vectorized(
     if obstacle is not None:
         raise VectorizationError(obstacle)
     universe = set(adom) | set(state.elements()) | _plan_constants(node)
-    codec = ElementCodec.for_universe(tuple(universe))
     store: Optional[Dict[str, Any]] = None
     if use_cache:
-        store = (cache if cache is not None else _ENCODE_CACHE).columns_for(
-            state, codec
-        )
+        shared = cache if cache is not None else _ENCODE_CACHE
+        # The cache owns the codec choice: for dictionary carriers it hands
+        # out the state's monotonically *growing* codec, so a codec change
+        # (new constants) reuses the already-encoded columns.
+        codec = shared.codec_for(state, tuple(universe))
+        store = shared.columns_for(state, codec)
+    else:
+        codec = ElementCodec.for_universe(tuple(universe))
     table = _ColumnarExecutor(state, adom, codec, store).run(node)
     decode = codec.decode
     return {tuple(decode(code) for code in row) for row in table.codes.tolist()}

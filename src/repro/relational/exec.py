@@ -44,6 +44,15 @@ from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
+from .bounds import (
+    AggBound,
+    AttrRef,
+    Bound,
+    ConstRef,
+    RangeBound,
+    ValueRef,
+    merge_index_ranges,
+)
 from .state import DatabaseState, Element, Row
 
 __all__ = [
@@ -66,6 +75,7 @@ __all__ = [
     "AntiJoin",
     "CrossPad",
     "IntervalJoin",
+    "IntervalUnionScan",
     "UnionAll",
     "PlanNode",
     "ExecutionStats",
@@ -76,25 +86,9 @@ __all__ = [
 
 
 # ---------------------------------------------------------------------------
-# Value references and filter conditions
+# Filter conditions (value references and interval endpoints are shared with
+# every other bound-analysis consumer and live in repro.relational.bounds)
 # ---------------------------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class AttrRef:
-    """A reference to an attribute (column) of the current operator."""
-
-    name: str
-
-
-@dataclass(frozen=True)
-class ConstRef:
-    """An inline constant value."""
-
-    value: Element
-
-
-ValueRef = Union[AttrRef, ConstRef]
 
 
 @dataclass(frozen=True)
@@ -116,40 +110,6 @@ class DomainCondition:
 
 
 Condition = Union[Comparison, DomainCondition]
-
-
-@dataclass(frozen=True)
-class Bound:
-    """One side of an interval: a value reference plus inclusivity.
-
-    Interval bounds are only ever emitted by the plan optimizer
-    (:mod:`repro.relational.optimize`) for domains whose carrier is totally
-    ordered by the standard integer comparison, so executors may compare
-    elements with ``int`` semantics instead of calling
-    ``domain.eval_predicate`` pointwise.
-    """
-
-    ref: ValueRef
-    inclusive: bool = False
-
-
-@dataclass(frozen=True)
-class AggBound:
-    """A bound aggregated at run time from a unary subplan.
-
-    ``kind`` is ``"min"`` or ``"max"``.  ``AggBound(P, "min", False)`` as a
-    *lower* bound encodes ``∃a ∈ P: a < x`` (the union of the nested
-    intervals ``(a, ∞)`` is ``(min P, ∞)``); an empty ``P`` makes the bound —
-    and therefore the whole :class:`RangeScan` — empty, which is exactly the
-    semantics of the eliminated existential witness.
-    """
-
-    source: "PlanNode"
-    kind: str
-    inclusive: bool = False
-
-
-RangeBound = Union[Bound, AggBound]
 
 
 # ---------------------------------------------------------------------------
@@ -260,6 +220,28 @@ class IntervalJoin:
 
 
 @dataclass(frozen=True)
+class IntervalUnionScan:
+    """The adom elements falling in *some* witness row's interval.
+
+    The union-of-intervals reduction: semantically this is
+    ``Project_(var)(IntervalJoin(source, var, lowers, uppers))``, but where
+    that pairing materialises O(|source| · interval) rows before projecting,
+    this node merges the per-row index ranges over the sorted active domain
+    (a sorted interval-merge, O(n log n)) and emits only the union — peak
+    intermediate rows O(answer).  It is what the optimizer emits when one
+    witness component bounds the scanned variable on *both* sides
+    (``∃y∃z (R(y, z) ∧ y < x ∧ x < z)``-shaped), where the per-row intervals
+    are not nested and no single aggregated :class:`RangeScan` bound exists.
+    """
+
+    source: "PlanNode"
+    var: str
+    lowers: Tuple[Bound, ...]
+    uppers: Tuple[Bound, ...]
+    attrs: Tuple[str, ...]  # exactly (var,)
+
+
+@dataclass(frozen=True)
 class UnionAll:
     """Set union of parts sharing one attribute list."""
 
@@ -269,7 +251,7 @@ class UnionAll:
 
 PlanNode = Union[
     Scan, AdomScan, RangeScan, Literal, Select, Project, Join, AntiJoin,
-    CrossPad, IntervalJoin, UnionAll,
+    CrossPad, IntervalJoin, IntervalUnionScan, UnionAll,
 ]
 
 
@@ -283,7 +265,7 @@ def walk_plan(node: PlanNode) -> Iterator[PlanNode]:
     ['Project', 'Join', 'Scan', 'Scan']
     """
     yield node
-    if isinstance(node, (Select, Project, CrossPad, IntervalJoin)):
+    if isinstance(node, (Select, Project, CrossPad, IntervalJoin, IntervalUnionScan)):
         yield from walk_plan(node.source)
     elif isinstance(node, (Join, UnionAll)):
         for part in node.parts:
@@ -310,7 +292,8 @@ def plan_summary(node: PlanNode) -> str:
         Scan: "scan", AdomScan: "adom-scan", RangeScan: "range-scan",
         Literal: "literal", Select: "select", Project: "project",
         Join: "join", AntiJoin: "antijoin", CrossPad: "adom-pad",
-        IntervalJoin: "interval-join", UnionAll: "union",
+        IntervalJoin: "interval-join",
+        IntervalUnionScan: "interval-union-scan", UnionAll: "union",
     }
     counts: Dict[str, int] = {}
     for sub in walk_plan(node):
@@ -318,7 +301,7 @@ def plan_summary(node: PlanNode) -> str:
         counts[label] = counts.get(label, 0) + 1
     order = ["scan", "adom-scan", "range-scan", "literal", "select",
              "project", "join", "antijoin", "adom-pad", "interval-join",
-             "union"]
+             "interval-union-scan", "union"]
     return ", ".join(
         f"{counts[label]} {label}{'s' if counts[label] != 1 else ''}"
         for label in order if label in counts
@@ -400,6 +383,8 @@ class _Executor:
             return self._cross_pad(node)
         if isinstance(node, IntervalJoin):
             return self._interval_join(node)
+        if isinstance(node, IntervalUnionScan):
+            return self._interval_union_scan(node)
         if isinstance(node, UnionAll):
             result: Set[Row] = set()
             for part in node.parts:
@@ -556,11 +541,14 @@ class _Executor:
     def _upper_index(keys: List[int], value: int, inclusive: bool) -> int:
         return bisect_right(keys, value) if inclusive else bisect_left(keys, value)
 
-    def _interval_join(self, node: IntervalJoin) -> Set[Row]:
-        rows = self.run(node.source)
-        if not rows or not self._adom:
-            return set()
-        keys, elements = self._ordered_adom()
+    def _bound_resolvers(
+        self,
+        node: "IntervalJoin | IntervalUnionScan",
+    ) -> Tuple[
+        List[Tuple[Callable[[Row], int], bool]],
+        List[Tuple[Callable[[Row], int], bool]],
+    ]:
+        """Per-row (value, inclusivity) getters for a node's interval bounds."""
         source_attrs = _attrs_of(node.source)
         index = {name: i for i, name in enumerate(source_attrs)}
 
@@ -573,16 +561,54 @@ class _Executor:
 
         lowers = [(resolver(b.ref), b.inclusive) for b in node.lowers]
         uppers = [(resolver(b.ref), b.inclusive) for b in node.uppers]
+        return lowers, uppers
+
+    def _row_range(
+        self,
+        row: Row,
+        keys: List[int],
+        lowers: List[Tuple[Callable[[Row], int], bool]],
+        uppers: List[Tuple[Callable[[Row], int], bool]],
+    ) -> Tuple[int, int]:
+        lo, hi = 0, len(keys)
+        for get, inclusive in lowers:
+            lo = max(lo, self._lower_index(keys, get(row), inclusive))
+        for get, inclusive in uppers:
+            hi = min(hi, self._upper_index(keys, get(row), inclusive))
+        return lo, hi
+
+    def _interval_join(self, node: IntervalJoin) -> Set[Row]:
+        rows = self.run(node.source)
+        if not rows or not self._adom:
+            return set()
+        keys, elements = self._ordered_adom()
+        lowers, uppers = self._bound_resolvers(node)
         result: Set[Row] = set()
         for row in rows:
-            lo, hi = 0, len(keys)
-            for get, inclusive in lowers:
-                lo = max(lo, self._lower_index(keys, get(row), inclusive))
-            for get, inclusive in uppers:
-                hi = min(hi, self._upper_index(keys, get(row), inclusive))
+            lo, hi = self._row_range(row, keys, lowers, uppers)
             for element in elements[lo:hi]:
                 result.add(row + (element,))
         return result
+
+    def _interval_union_scan(self, node: IntervalUnionScan) -> Set[Row]:
+        # Project_(var)(IntervalJoin(...)) without the pairwise blowup: the
+        # per-witness index ranges over the sorted adom are merged (sorted
+        # interval-merge), so only the O(answer) union is materialised.
+        rows = self.run(node.source)
+        if not rows or not self._adom:
+            return set()
+        keys, elements = self._ordered_adom()
+        lowers, uppers = self._bound_resolvers(node)
+        ranges = []
+        for row in rows:
+            lo, hi = self._row_range(row, keys, lowers, uppers)
+            if lo < hi:
+                ranges.append((lo, hi))
+        return {
+            (element,)
+            for lo, hi in merge_index_ranges(ranges)
+            for element in elements[lo:hi]
+        }
 
     def _range_scan(self, node: RangeScan) -> Set[Row]:
         # Aggregate bounds first: an empty aggregate source means the

@@ -43,6 +43,7 @@ __all__ = [
     "cross_pad_arrays",
     "expand_ranges",
     "interval_pad",
+    "range_union_mask",
 ]
 
 #: the dtype every column of a code table uses
@@ -160,6 +161,32 @@ def interval_pad(
     repeated = table[np.repeat(np.arange(table.shape[0]), counts)]
     padded = values_sorted[expand_ranges(starts, counts)].reshape(-1, 1)
     return np.concatenate([repeated, padded], axis=1)
+
+
+def range_union_mask(
+    starts: "np.ndarray", ends: "np.ndarray", size: int
+) -> "np.ndarray":
+    """Cover mask of the union of half-open index ranges ``[starts_i, ends_i)``.
+
+    The vectorized union-of-intervals kernel behind ``IntervalUnionScan``:
+    instead of materialising every (row, index) pair and deduplicating, a
+    difference array counts range openings/closings per position and a
+    cumulative sum marks the covered slots.  Inverted or empty ranges
+    contribute nothing.
+
+    >>> import numpy as np
+    >>> mask = range_union_mask(np.array([0, 3, 4]), np.array([2, 5, 4]), 6)
+    >>> mask.tolist()
+    [True, True, False, True, True, False]
+    """
+    delta = np.zeros(size + 1, dtype=CODE_DTYPE)
+    valid = starts < ends
+    if valid.any():
+        clipped_starts = np.clip(starts[valid], 0, size)
+        clipped_ends = np.clip(ends[valid], 0, size)
+        np.add.at(delta, clipped_starts, 1)
+        np.add.at(delta, clipped_ends, -1)
+    return np.cumsum(delta[:size]) > 0
 
 
 def join_indices(

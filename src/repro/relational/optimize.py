@@ -25,7 +25,18 @@ Four families of rewrites, applied bottom-up in one pass:
    ``IntervalJoin`` eliminates the existential witness: ``∃y (S(y) ∧ y < x)``
    becomes ``x > min(S)``, a :class:`~repro.relational.exec.RangeScan` with
    an aggregated bound, turning the "strictly between two members" plan from
-   ``O(|adom|^3)`` materialisation into ``O(|answer|)``.
+   ``O(|adom|^3)`` materialisation into ``O(|answer|)``.  When one witness
+   component bounds the variable on *both* sides
+   (``∃y∃z (R(y, z) ∧ y < x ∧ x < z)``) the per-row intervals are not
+   nested, so no single aggregated bound exists; the reduction then emits an
+   :class:`~repro.relational.exec.IntervalUnionScan`, which merges the
+   per-row ranges with the sorted interval-merge of
+   :mod:`repro.relational.bounds` — still ``O(|answer|)`` peak rows.
+
+The endpoint machinery (``Bound``/``AggBound``, the order-predicate table,
+:func:`~repro.relational.bounds.domain_is_ordered`) is shared with the tree
+walker's quantifier-range narrowing and the enumeration engine's candidate
+pruning through :mod:`repro.relational.bounds`.
 
 The rewrites it performed are returned as human-readable notes, which
 :meth:`repro.relational.compile.CompiledQuery.summary` (and therefore
@@ -49,6 +60,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from .bounds import ORDER_PREDICATES, domain_is_ordered
 from .exec import (
     AdomScan,
     AggBound,
@@ -61,6 +73,7 @@ from .exec import (
     CrossPad,
     DomainCondition,
     IntervalJoin,
+    IntervalUnionScan,
     Join,
     Literal,
     PlanNode,
@@ -78,35 +91,9 @@ __all__ = [
     "OPTIMIZABLE_PREDICATES",
 ]
 
-#: domain predicates the optimizer can turn into interval bounds
-OPTIMIZABLE_PREDICATES = ("<", "<=", ">", ">=")
-
-
-def domain_is_ordered(domain) -> bool:
-    """True when ``domain`` is flagged ``ordered_carrier`` in the registry.
-
-    Ordered means: the carrier is totally ordered by the standard integer
-    comparison and the domain's ``<``/``<=``/``>``/``>=`` predicates have
-    exactly that semantics, so pads filtered by them may be replaced with
-    sorted-adom range generation.  Unregistered domains fall back to an
-    ``ordered_carrier`` attribute on the instance (default ``False``).
-
-    >>> from repro.domains.nat_order import NaturalOrderDomain
-    >>> from repro.domains.equality import EqualityDomain
-    >>> domain_is_ordered(NaturalOrderDomain()), domain_is_ordered(EqualityDomain())
-    (True, False)
-    """
-    name = getattr(domain, "name", None)
-    if isinstance(name, str):
-        # Imported lazily: repro.domains pulls in repro.relational at
-        # package-init time, so a module-level import would be circular.
-        from ..domains.registry import UnknownDomainError, get_entry
-
-        try:
-            return get_entry(name).ordered_carrier
-        except UnknownDomainError:
-            pass
-    return bool(getattr(domain, "ordered_carrier", False))
+#: domain predicates the optimizer can turn into interval bounds (the shared
+#: constant from :mod:`repro.relational.bounds`, kept under its legacy name)
+OPTIMIZABLE_PREDICATES = ORDER_PREDICATES
 
 
 @dataclass
@@ -116,6 +103,7 @@ class _RewriteLog:
     interleaved: int = 0
     interval_joins: int = 0
     range_reductions: int = 0
+    union_reductions: int = 0
     pads_eliminated: int = 0
     projections_pushed: int = 0
 
@@ -130,6 +118,11 @@ class _RewriteLog:
         if self.range_reductions:
             parts.append(
                 f"reduced {self.range_reductions} interval join(s) to range scans"
+            )
+        if self.union_reductions:
+            parts.append(
+                f"reduced {self.union_reductions} both-sided witness(es) to "
+                "interval-union scans"
             )
         if self.pads_eliminated:
             parts.append(f"eliminated {self.pads_eliminated} adom pad column(s)")
@@ -210,6 +203,11 @@ class _Rewriter:
             return CrossPad(self.rewrite(node.source), node.pad, node.attrs)
         if isinstance(node, IntervalJoin):
             return IntervalJoin(
+                self.rewrite(node.source), node.var,
+                node.lowers, node.uppers, node.attrs,
+            )
+        if isinstance(node, IntervalUnionScan):
+            return IntervalUnionScan(
                 self.rewrite(node.source), node.var,
                 node.lowers, node.uppers, node.attrs,
             )
@@ -455,6 +453,7 @@ class _Rewriter:
 
         factors: List[PlanNode] = []
         reduced_any = False
+        reduced_union = False
         for index, component in enumerate(components):
             bounds = component_bounds.get(index)
             if bounds is None:
@@ -472,7 +471,10 @@ class _Rewriter:
                 reduced_any = True
             else:
                 # ≥2 bounds from one component: the per-row intervals are not
-                # nested, so keep this component as a (smaller) interval join.
+                # nested, so no aggregated min/max endpoint covers them — but
+                # their *union* is still computable in O(n log n) by the
+                # sorted interval-merge, which IntervalUnionScan performs
+                # without materialising the per-row pairs first.
                 lowers = tuple(
                     Bound(ref, inc) for is_low, ref, inc in bounds if is_low
                 )
@@ -480,23 +482,28 @@ class _Rewriter:
                     Bound(ref, inc) for is_low, ref, inc in bounds if not is_low
                 )
                 factors.append(
-                    Project(
-                        IntervalJoin(
-                            component, node.var, lowers, uppers,
-                            component.attrs + (node.var,),
-                        ),
-                        (node.var,),
+                    IntervalUnionScan(
+                        component, node.var, lowers, uppers, (node.var,)
                     )
                 )
-        if not reduced_any and not (range_lowers or range_uppers):
+                reduced_union = True
+        if not reduced_any and not reduced_union and not (
+            range_lowers or range_uppers
+        ):
             return None
-        self.log.range_reductions += 1
-        generator: PlanNode = RangeScan(
-            tuple(range_lowers), tuple(range_uppers), (node.var,)
-        )
-        if not factors:
-            return generator
-        return Join(tuple([generator] + factors), (node.var,))
+        if reduced_union:
+            self.log.union_reductions += sum(
+                1 for factor in factors if isinstance(factor, IntervalUnionScan)
+            )
+        if reduced_any or range_lowers or range_uppers:
+            self.log.range_reductions += 1
+            factors.insert(
+                0,
+                RangeScan(tuple(range_lowers), tuple(range_uppers), (node.var,)),
+            )
+        if len(factors) == 1:
+            return factors[0]
+        return Join(tuple(factors), (node.var,))
 
 
 def _parts_disjoint(parts: Sequence[PlanNode]) -> bool:

@@ -3,7 +3,7 @@
 import itertools
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.domains.base import DomainError
 from repro.domains.successor import (
@@ -125,9 +125,51 @@ def successor_formulas(draw, depth=2):
     return formula
 
 
+def _bounded_sampling_is_sound(formula: Formula) -> bool:
+    """Whether comparing QE output by *bounded* evaluation can be trusted.
+
+    Bounded evaluation restricts quantifiers to a finite universe, which is
+    an approximation: with two or more quantifiers, a succ-term over a bound
+    variable can escape the universe in a way a second quantifier observes —
+    ``∃z ∀x. x ≠ succ(z)`` is bounded-true (pick z at the boundary, succ(z)
+    falls outside every finite universe) but naturally false, for *every*
+    universe size.  The (correct) eliminated formula evaluates to the
+    natural truth, so asserting agreement on that shape is a test artifact,
+    not a QE bug.  Single-quantifier formulas are safe because the sampled
+    assignment values plus the bounded succ depth stay inside the universe.
+    """
+    from repro.logic.formulas import walk_formulas
+    from repro.logic.terms import term_variables
+
+    quantifiers = [
+        sub for sub in walk_formulas(formula)
+        if isinstance(sub, (Exists, ForAll))
+    ]
+    if len(quantifiers) < 2:
+        return True
+    bound = {quantifier.var for quantifier in quantifiers}
+
+    def succ_argument_vars(term):
+        if isinstance(term, Apply):
+            result = set()
+            for arg in term.args:
+                result |= {v.name for v in term_variables(arg)}
+                result |= succ_argument_vars(arg)
+            return result
+        return set()
+
+    for sub in walk_formulas(formula):
+        if isinstance(sub, Equals):
+            escaped = succ_argument_vars(sub.left) | succ_argument_vars(sub.right)
+            if escaped & bound:
+                return False
+    return True
+
+
 @settings(max_examples=80, deadline=None)
 @given(successor_formulas())
 def test_elimination_agrees_on_sampled_assignments(formula):
+    assume(_bounded_sampling_is_sound(formula))
     eliminated = eliminate_successor_quantifiers(formula)
     assert is_quantifier_free(eliminated)
     free = sorted(free_variables(formula) | free_variables(eliminated), key=lambda v: v.name)

@@ -402,6 +402,60 @@ def test_session_exposes_encode_cache_info():
     assert "encode cache" in session.plan("vectorized").explain()
 
 
+def test_codec_extend_preserves_existing_codes():
+    base = ElementCodec.for_universe(["eve", "adam"])
+    grown = base.extend(["cain", "eve"])
+    assert grown is not base
+    for element in ("eve", "adam"):
+        assert grown.encode(element) == base.encode(element)
+    assert grown.decode(grown.encode("cain")) == "cain"
+    assert base.extend(["eve"]) is base  # nothing new: same codec
+    numeric = ElementCodec.for_universe([1, 2])
+    assert numeric.extend([99]) is numeric  # passthrough never grows
+
+
+def test_encode_cache_grows_dictionary_codec_without_reencoding():
+    from repro.relational.schema import DatabaseSchema, RelationSchema
+
+    schema = DatabaseSchema((RelationSchema("N", 1, ("name",)),))
+    state = DatabaseState(schema, {"N": [("eve",), ("adam",)]})
+    plan = Scan("N", ("x",), (), ("x",))
+    cache = EncodeCache(maxsize=4)
+    first = run_plan_vectorized(plan, state, ["eve", "adam"], EQ, cache=cache)
+    assert first == {("eve",), ("adam",)}
+    # A wider universe (a new constant outside the carrier) changes the
+    # codec — the dictionary table must grow, not rebuild, so the cached
+    # relation columns keep serving.
+    second = run_plan_vectorized(
+        plan, state, ["eve", "adam", "cain"], EQ, cache=cache
+    )
+    assert second == first
+    info = cache.info()
+    assert info.misses == 1 and info.hits == 1
+    assert info.grown == 1
+    assert "grown=1" in str(info)
+
+
+def test_encode_cache_grown_columns_stay_valid():
+    from repro.relational.schema import DatabaseSchema, RelationSchema
+
+    schema = DatabaseSchema((RelationSchema("N", 1, ("name",)),))
+    state = DatabaseState(schema, {"N": [("b",), ("d",)]})
+    plan = Scan("N", ("x",), (), ("x",))
+    cache = EncodeCache(maxsize=4)
+    run_plan_vectorized(plan, state, ["b", "d"], EQ, cache=cache)
+    codec = cache.codec_for(state, ["b", "d"])
+    store = cache.columns_for(state, codec)
+    array = store["N"]
+    # growing by an element that would sort *before* the existing table must
+    # not invalidate the cached encoding (append-only, not re-sorted)
+    wider = run_plan_vectorized(plan, state, ["a", "b", "d"], EQ, cache=cache)
+    assert wider == {("b",), ("d",)}
+    grown = cache.codec_for(state, ["a", "b", "d"])
+    assert cache.columns_for(state, grown)["N"] is array
+    assert grown.encode("b") == codec.encode("b")
+
+
 def test_state_fingerprint_is_stable_and_memoised():
     state = numeric_state([3, 1])
     twin = numeric_state([1, 3])

@@ -1,0 +1,269 @@
+"""Narrowed tree walker ≡ full walker ≡ compiled ≡ vectorized, and the
+union-of-intervals / enumeration-candidate consumers of the bound analysis.
+
+Property layers:
+
+* randomized equivalence of the four evaluation modes over the ordered
+  experiment corpora (``{S/1}``) *and* the span corpus (``{S/1, R/2}``,
+  whose queries bound a variable on both sides from one witness row),
+  including empty and one-element active domains;
+* quantifier shapes the corpora lack: ∀, ¬∃, ∀∃ alternations;
+* narrowing telemetry: stats recorded, pruning actually happened, and
+  ``ActiveDomainPlan.explain()`` surfaces it;
+* the optimizer's ``IntervalUnionScan``: plan shape (no ``IntervalJoin``
+  fallback), peak intermediate rows O(answer), and optimizer notes;
+* ``EnumerationPlan`` candidate generation: compiled-superset-bounded
+  decision counts, inferred-bounds completeness, dovetail fallback, and the
+  ``explain()`` report.
+"""
+
+import random
+
+import pytest
+
+from repro.domains.nat_order import NaturalOrderDomain
+from repro.domains.presburger import PresburgerDomain
+from repro.engine.enumeration import CandidateStats, answer_by_enumeration
+from repro.engine.plans import ActiveDomainPlan, EnumerationPlan
+from repro.experiments.corpora import (
+    numeric_state,
+    ordered_query_corpus,
+    span_query_corpus,
+    span_state,
+)
+from repro.logic.parser import parse_formula
+from repro.relational.bounds import NarrowingStats
+from repro.relational.calculus import evaluate_query_active_domain
+from repro.relational.compile import compile_query
+from repro.relational.exec import (
+    ExecutionStats,
+    IntervalJoin,
+    IntervalUnionScan,
+    run_plan,
+    walk_plan,
+)
+
+NAT = NaturalOrderDomain()
+
+#: quantifier shapes the experiment corpora do not cover
+EXTRA_QUERIES = [
+    ("all-members-at-most", "forall y. (S(y) -> y <= x)"),
+    ("no-member-above", "~(exists y. (S(y) & x < y))"),
+    ("between-by-negation", "~(forall y. (S(y) -> (y < x | x < y)))"),
+    ("forall-exists-chain", "forall y. (S(y) -> exists z. (S(z) & y <= z & x <= z))"),
+    ("both-sided-on-self", "exists y. (S(y) & y <= x & x <= y)"),
+]
+
+
+def _assert_modes_agree(query, state, domain=NAT):
+    stats = NarrowingStats()
+    narrowed = evaluate_query_active_domain(
+        query, state, interpretation=domain, stats=stats
+    )
+    assert stats.enabled  # the ordered carrier must activate the narrower
+    full = evaluate_query_active_domain(
+        query, state, interpretation=domain, narrow=False
+    )
+    assert narrowed.rows == full.rows
+    compiled = compile_query(query, state.schema, domain)
+    adom = compiled.universe(state)
+    assert run_plan(compiled.plan, state, adom, domain) == full.rows
+    numpy = pytest.importorskip("numpy")
+    assert numpy is not None
+    from repro.relational.columnar import run_plan_vectorized
+
+    assert run_plan_vectorized(compiled.plan, state, adom, domain) == full.rows
+    return stats
+
+
+@pytest.mark.parametrize("name,query,_finite", ordered_query_corpus())
+def test_narrowed_walker_agrees_on_randomized_ordered_states(name, query, _finite):
+    rng = random.Random(hash(name) & 0xFFFF)
+    for _ in range(10):
+        values = rng.sample(range(0, 120), rng.randint(0, 10))
+        _assert_modes_agree(query, numeric_state(values))
+
+
+@pytest.mark.parametrize("name,query,_finite", span_query_corpus())
+def test_narrowed_walker_agrees_on_randomized_span_states(name, query, _finite):
+    rng = random.Random(hash(name) & 0xFFFF)
+    for _ in range(10):
+        values = rng.sample(range(0, 90), rng.randint(0, 6))
+        spans = [
+            tuple(sorted(rng.sample(range(0, 90), 2)))
+            for _ in range(rng.randint(0, 4))
+        ]
+        _assert_modes_agree(query, span_state(values, spans))
+
+
+@pytest.mark.parametrize("name,text", EXTRA_QUERIES)
+def test_narrowed_walker_agrees_on_quantifier_shapes(name, text):
+    query = parse_formula(text)
+    rng = random.Random(hash(name) & 0xFFFF)
+    for values in ([], [7], [3, 11], rng.sample(range(0, 60), 6)):
+        _assert_modes_agree(query, numeric_state(values))
+
+
+@pytest.mark.parametrize("values", [[], [5], [5, 6], [0, 1, 2]])
+def test_degenerate_adoms_on_both_sided_query(values):
+    covered = span_query_corpus()[0][1]
+    spans = [(min(values), max(values))] if values else []
+    _assert_modes_agree(covered, span_state(values, spans))
+    _assert_modes_agree(covered, span_state(values, []))
+
+
+def test_presburger_also_narrows():
+    between = dict(
+        (name, query) for name, query, _ in ordered_query_corpus()
+    )["strictly-between-members"]
+    stats = _assert_modes_agree(
+        between, numeric_state([2, 9, 14, 30]), PresburgerDomain()
+    )
+    assert stats.skipped > 0
+
+
+def test_narrowing_prunes_the_between_query():
+    between = dict(
+        (name, query) for name, query, _ in ordered_query_corpus()
+    )["strictly-between-members"]
+    stats = _assert_modes_agree(between, numeric_state(list(range(0, 40, 3))))
+    assert stats.narrowed > 0
+    assert stats.skipped > stats.candidates  # most candidates were pruned
+
+
+def test_active_domain_plan_explain_reports_narrowing():
+    plan = ActiveDomainPlan(domain=NAT)
+    between = dict(
+        (name, query) for name, query, _ in ordered_query_corpus()
+    )["strictly-between-members"]
+    answer = plan.execute(between, numeric_state([1, 5, 9]))
+    assert answer.rows() == ((5,),)
+    assert "quantifier-range narrowing" in plan.explain()
+    # an unordered domain reports nothing rather than a stale line
+    from repro.domains.equality import EqualityDomain
+    from repro.experiments.corpora import family_state
+    from repro.experiments.exp01_intro_queries import grandfather_query
+
+    eq_plan = ActiveDomainPlan(domain=EqualityDomain())
+    eq_plan.execute(grandfather_query(), family_state(2))
+    assert "narrowing" not in eq_plan.explain()
+
+
+# ---------------------------------------------------------------------------
+# the union-of-intervals reduction
+# ---------------------------------------------------------------------------
+
+
+def _covered_compiled(optimize=True):
+    covered = span_query_corpus()[0][1]
+    return compile_query(
+        covered, span_state([], []).schema, NAT, optimize=optimize
+    )
+
+
+def test_both_sided_query_compiles_to_interval_union_scan():
+    compiled = _covered_compiled()
+    kinds = [type(node) for node in walk_plan(compiled.plan)]
+    assert IntervalUnionScan in kinds
+    assert IntervalJoin not in kinds  # no fallback pairing remains
+    summary = compiled.summary()
+    assert "interval-union-scan" in summary
+    assert "both-sided witness" in summary
+
+
+def test_interval_union_scan_peak_rows_stay_linear():
+    size = 40
+    spans = [(3 * i, 3 * i + 7) for i in range(size)]
+    state = span_state([], spans)
+    optimized = _covered_compiled()
+    unoptimized = _covered_compiled(optimize=False)
+    adom = optimized.universe(state)
+
+    optimized_stats = ExecutionStats()
+    answer = run_plan(optimized.plan, state, adom, NAT, optimized_stats)
+    naive_stats = ExecutionStats()
+    assert run_plan(unoptimized.plan, state, adom, NAT, naive_stats) == answer
+    # O(answer): the union scan emits merged ranges; the unoptimized plan
+    # pads |R| rows with the whole adom before filtering.
+    assert optimized_stats.peak_rows <= len(answer) + len(spans)
+    assert naive_stats.peak_rows >= size * len(adom) / 2
+    assert optimized_stats.peak_rows < naive_stats.peak_rows / 20
+
+
+def test_union_scan_mixes_with_aggregated_range_bounds():
+    # One witness bounds both sides, another contributes a single aggregate
+    # bound: the reduction must emit a RangeScan joined with the union scan.
+    query = parse_formula(
+        "exists y. exists z. exists w. "
+        "(R(y, z) & S(w) & y < x & x < z & w <= x)"
+    )
+    compiled = compile_query(query, span_state([], []).schema, NAT)
+    kinds = [type(node) for node in walk_plan(compiled.plan)]
+    assert IntervalUnionScan in kinds
+    state = span_state([6], [(1, 9), (4, 20)])
+    rows = run_plan(compiled.plan, state, compiled.universe(state), NAT)
+    tree = evaluate_query_active_domain(query, state, interpretation=NAT)
+    assert rows == tree.rows
+
+
+# ---------------------------------------------------------------------------
+# enumeration-path compilation
+# ---------------------------------------------------------------------------
+
+
+def test_enumeration_candidates_bounded_by_compiled_superset():
+    domain = PresburgerDomain()
+    state = numeric_state([3 * i + 1 for i in range(12)])
+    members = parse_formula("S(x)")
+    stats = CandidateStats()
+    answer = answer_by_enumeration(
+        members, state, domain, max_rows=100, max_candidates=5000, stats=stats
+    )
+    assert answer.relation.rows == {(3 * i + 1,) for i in range(12)}
+    assert stats.generator == "compiled+bounded"
+    assert stats.compiled_rows == 12
+    # every decision call tested a compiled-superset row (plus none wasted)
+    assert stats.examined <= stats.compiled_rows + 1
+    legacy = CandidateStats()
+    same = answer_by_enumeration(
+        members, state, domain, max_rows=100, max_candidates=5000,
+        candidate_source="dovetail", stats=legacy,
+    )
+    assert same.relation.rows == answer.relation.rows
+    assert legacy.generator == "dovetail"
+    assert legacy.examined > stats.examined
+
+
+def test_enumeration_bounded_box_completes_natural_answers():
+    # x < max(S) has answer rows outside the active domain; the inferred
+    # bounds make the grid complete, so enumeration still finds all of them.
+    domain = PresburgerDomain()
+    state = numeric_state([2, 9])
+    below = parse_formula("exists y. (S(y) & x < y)")
+    stats = CandidateStats()
+    answer = answer_by_enumeration(
+        below, state, domain, max_rows=50, max_candidates=500, stats=stats
+    )
+    assert answer.relation.rows == {(n,) for n in range(9)}
+    assert "bounded" in stats.generator
+    assert stats.bounded_variables == ("x",)
+
+
+def test_enumeration_falls_back_to_dovetail_when_unbounded():
+    domain = PresburgerDomain()
+    state = numeric_state([3])
+    above = parse_formula("3 < x")  # unbounded above: no finite grid exists
+    stats = CandidateStats()
+    answer = answer_by_enumeration(
+        above, state, domain, max_rows=5, max_candidates=50, stats=stats
+    )
+    assert len(answer.partial) == 5  # same budget behaviour as before
+    assert stats.generator.endswith("dovetail")
+
+
+def test_enumeration_plan_explain_reports_candidates():
+    plan = EnumerationPlan(domain=PresburgerDomain())
+    answer = plan.execute(parse_formula("S(x)"), numeric_state([4, 7]))
+    assert answer.relation.rows == {(4,), (7,)}
+    assert "candidate generator" in plan.explain()
+    assert "decision-tested" in plan.explain()
