@@ -27,13 +27,14 @@ The package is organised by subsystem:
 
 from . import domains, engine, logic, relational, safety, turing
 from . import api
+from . import serve
 from .api import Answer, Budget, Session, connect
 from .domains.registry import available_domains, get_domain
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "logic", "relational", "turing", "domains", "safety", "engine", "api",
-    "connect", "Session", "Budget", "Answer", "get_domain", "available_domains",
-    "__version__",
+    "serve", "connect", "Session", "Budget", "Answer", "get_domain",
+    "available_domains", "__version__",
 ]

@@ -28,7 +28,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Iterable, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Iterable, Optional, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import used only by annotations
+    from ..relational.columnar import EncodeCacheInfo
 
 from ..domains.base import Domain
 from ..domains.registry import DomainEntry, get_entry
@@ -117,6 +120,7 @@ class Session:
         guard: bool = True,
         restrict: bool = False,
         plan_cache_size: int = 128,
+        plan_cache: Optional[PlanCache] = None,
     ):
         entry: Optional[DomainEntry] = None
         if isinstance(domain, str):
@@ -156,8 +160,12 @@ class Session:
         # The plan cache makes repeated queries skip calculus→algebra
         # compilation; it is keyed by (formula, schema fingerprint, domain,
         # substrate), so states may vary freely between calls and the two
-        # algebra substrates never collide.
-        self._plan_cache = PlanCache(maxsize=plan_cache_size)
+        # algebra substrates never collide.  Passing ``plan_cache=`` shares
+        # one (thread-safe) cache across sessions — the serving layer uses
+        # this so every session warms every other's plans.
+        self._plan_cache = (
+            plan_cache if plan_cache is not None else PlanCache(maxsize=plan_cache_size)
+        )
         self._planner = Planner(
             self._domain,
             syntax=self._syntax,
@@ -210,7 +218,7 @@ class Session:
         """Hit/miss/eviction counters for the compiled-plan cache."""
         return self._plan_cache.info()
 
-    def encode_cache_info(self):
+    def encode_cache_info(self) -> "EncodeCacheInfo":
         """Counters for the per-state columnar encode cache.
 
         Unlike the plan cache, the encode cache is process-wide (encoded
@@ -418,6 +426,6 @@ def connect(
     :class:`~repro.domains.base.Domain` instance; ``schema`` defaults to the
     empty schema (pure domain queries).  Keyword options are forwarded to
     :class:`Session` (``budget``, ``syntax``, ``safety``, ``guard``,
-    ``restrict``, ``plan_cache_size``).
+    ``restrict``, ``plan_cache_size``, ``plan_cache``).
     """
     return Session(domain, schema, **options)

@@ -11,10 +11,19 @@ The cache key is ``(formula, schema fingerprint, domain name)``: formulas
 and schemas are frozen, hashable dataclasses, so the fingerprint is simply
 the pair itself, and a schema change (or a different domain) can never serve
 a stale plan.
+
+The cache is **thread-safe**: the serving layer (:mod:`repro.serve`) shares
+one process-wide instance across every session, so concurrent sessions warm
+each other's plans.  All bookkeeping (the LRU order *and* the counters)
+happens under one internal :class:`threading.Lock`; the critical sections
+are a handful of dict operations, so the single-threaded fast path stays an
+uncontended lock acquisition — cheap enough that the library path through
+:class:`~repro.api.session.Session` uses the same code.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Hashable, Optional
@@ -32,15 +41,27 @@ class PlanCacheInfo:
     size: int
     maxsize: int
 
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 before any lookup).
+
+        The headline serving metric: a zipfian query mix should keep this
+        above 0.9 once the popular plans are resident.
+        """
+        lookups = self.hits + self.misses
+        if lookups == 0:
+            return 0.0
+        return self.hits / lookups
+
     def __str__(self) -> str:
         return (
             f"hits={self.hits} misses={self.misses} evictions={self.evictions} "
-            f"size={self.size}/{self.maxsize}"
+            f"size={self.size}/{self.maxsize} hit_rate={self.hit_rate:.2f}"
         )
 
 
 class PlanCache:
-    """A small LRU map from (formula, schema, domain) keys to compiled plans."""
+    """A small, thread-safe LRU map from (formula, schema, domain) keys to plans."""
 
     def __init__(self, maxsize: int = 128):
         if maxsize < 0:
@@ -50,49 +71,56 @@ class PlanCache:
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._lock = threading.Lock()
 
     @property
     def maxsize(self) -> int:
         return self._maxsize
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: Hashable) -> Optional[Any]:
         """The cached value for ``key`` (refreshing its recency), or ``None``."""
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self._misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self._hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert ``value`` under ``key``, evicting the least recently used."""
         if self._maxsize == 0:
             return
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        while len(self._entries) > self._maxsize:
-            self._entries.popitem(last=False)
-            self._evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
 
     def clear(self) -> None:
         """Drop every entry (the counters survive)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def info(self) -> PlanCacheInfo:
         """Hit/miss/eviction counters and current occupancy."""
-        return PlanCacheInfo(
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-            size=len(self._entries),
-            maxsize=self._maxsize,
-        )
+        with self._lock:
+            return PlanCacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                maxsize=self._maxsize,
+            )

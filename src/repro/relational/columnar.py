@@ -53,6 +53,7 @@ Doctest — a vectorized scan-and-join, equal to the set executor's answer:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Sequence, Set, Tuple
@@ -321,6 +322,15 @@ class EncodeCache:
     The module-level instance (:func:`encode_cache`) is shared process-wide,
     mirroring how compiled plans are shared through the session plan cache;
     :func:`encode_cache_info` gives ``cache_info()``-style counters.
+
+    The cache is **thread-safe**: concurrent serving sessions
+    (:mod:`repro.serve`) querying states with equal ``fingerprint()`` share
+    one instance, so LRU bookkeeping and codec growth happen under an
+    internal lock.  The column dicts handed out by :meth:`columns_for` are
+    filled *outside* the lock by the executor — that is safe because fills
+    are idempotent (re-encoding the same relation of the same state yields
+    equal code arrays) and single dict writes are atomic under the GIL, so a
+    race at worst duplicates one relation's encode work.
     """
 
     def __init__(self, maxsize: int = 32):
@@ -334,13 +344,15 @@ class EncodeCache:
         self._misses = 0
         self._evictions = 0
         self._grown = 0
+        self._lock = threading.Lock()
 
     @property
     def maxsize(self) -> int:
         return self._maxsize
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def codec_for(
         self, state: DatabaseState, universe: Sequence[Element]
@@ -358,54 +370,58 @@ class EncodeCache:
         if candidate.numeric or self._maxsize == 0:
             return candidate
         key = (state, ("dictionary-growing",))
-        prior = self._codecs.get(key)
-        if prior is None:
-            grown = ElementCodec(
-                False, tuple(sorted(set(universe), key=repr)), growing=True
-            )
-        else:
-            grown = prior.extend(tuple(universe))
-            if grown is not prior:
-                self._grown += 1
-        self._codecs[key] = grown
-        return grown
+        with self._lock:
+            prior = self._codecs.get(key)
+            if prior is None:
+                grown = ElementCodec(
+                    False, tuple(sorted(set(universe), key=repr)), growing=True
+                )
+            else:
+                grown = prior.extend(tuple(universe))
+                if grown is not prior:
+                    self._grown += 1
+            self._codecs[key] = grown
+            return grown
 
     def columns_for(
         self, state: DatabaseState, codec: ElementCodec
     ) -> Dict[str, Any]:
         """The (shared, lazily filled) relation→codes store for ``state``."""
         key = (state, codec.cache_key())
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-            self._hits += 1
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return entry
+            self._misses += 1
+            entry = {}
+            if self._maxsize == 0:
+                return entry
+            self._entries[key] = entry
+            while len(self._entries) > self._maxsize:
+                evicted_key, _ = self._entries.popitem(last=False)
+                self._codecs.pop(evicted_key, None)
+                self._evictions += 1
             return entry
-        self._misses += 1
-        entry = {}
-        if self._maxsize == 0:
-            return entry
-        self._entries[key] = entry
-        while len(self._entries) > self._maxsize:
-            evicted_key, _ = self._entries.popitem(last=False)
-            self._codecs.pop(evicted_key, None)
-            self._evictions += 1
-        return entry
 
     def clear(self) -> None:
         """Drop every entry (the counters survive)."""
-        self._entries.clear()
-        self._codecs.clear()
+        with self._lock:
+            self._entries.clear()
+            self._codecs.clear()
 
     def info(self) -> EncodeCacheInfo:
         """Hit/miss/eviction counters and current occupancy."""
-        return EncodeCacheInfo(
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-            size=len(self._entries),
-            maxsize=self._maxsize,
-            grown=self._grown,
-        )
+        with self._lock:
+            return EncodeCacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                maxsize=self._maxsize,
+                grown=self._grown,
+            )
 
 
 _ENCODE_CACHE = EncodeCache()

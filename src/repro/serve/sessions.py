@@ -1,0 +1,336 @@
+"""Session-id-keyed session lifecycles for the serving layer.
+
+The pattern follows the per-session pod manager sketched in SNIPPETS.md
+(Snippet 1): every connection gets a session id derived by hashing a
+monotonic counter with fresh randomness, the id keys an isolated unit of
+state with a TTL, and the manager owns create / lookup / expire / evict for
+the whole population.  Here the unit is not a Kubernetes pod but a
+:class:`~repro.api.session.Session` plus its default database state and a
+lock:
+
+* **isolation** — each session has its own domain, schema, guards, and
+  default state; nothing a session does can corrupt another (the only
+  shared structures are the thread-safe plan/encode caches);
+* **serialization per session** — a session's queries run under its
+  ``lock``, so one client's requests execute in order even when sent
+  concurrently; *distinct* sessions run genuinely concurrently on the
+  manager's thread pool;
+* **lifecycle** — sessions expire after ``policy.session_ttl`` idle seconds
+  (every use refreshes the clock), and when ``policy.max_sessions`` is
+  exceeded the least recently used session is evicted early;
+* **shared caches** — every session is created with the manager's
+  process-wide :class:`~repro.serve.plan_store.PersistentPlanCache`, so any
+  session's compile warms every other session (and, with a
+  :class:`~repro.serve.plan_store.PlanStore` configured, future processes);
+  the columnar :class:`~repro.relational.columnar.EncodeCache` is already
+  process-wide and keyed by state fingerprint, so sessions querying equal
+  states share encoded columns automatically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from ..api.session import QueryResult, Session
+from ..domains.base import Domain
+from ..engine.budget import Budget
+from ..engine.plan_cache import PlanCache
+from ..relational.schema import DatabaseSchema
+from ..relational.state import DatabaseState
+from .plan_store import PersistentPlanCache, PlanStore
+from .policy import DEFAULT_POLICY, ServerPolicy
+
+__all__ = ["ManagedSession", "SessionManager", "UnknownSessionError"]
+
+
+class UnknownSessionError(LookupError):
+    """The session id is not (or no longer) registered."""
+
+
+class ManagedSession:
+    """One live session: the Session itself plus serving bookkeeping."""
+
+    def __init__(
+        self,
+        session_id: str,
+        session: Session,
+        created_at: float,
+        state: Optional[DatabaseState] = None,
+    ):
+        self.session_id = session_id
+        self.session = session
+        self.created_at = created_at
+        self.last_used = created_at
+        #: the default state queries run against when the request names none
+        self.state = state
+        #: serializes this session's queries (distinct sessions do not share it)
+        self.lock = threading.Lock()
+        self.queries_served = 0
+
+    def touch(self, now: float) -> None:
+        self.last_used = now
+
+    def expired(self, now: float, ttl: float) -> bool:
+        return now - self.last_used > ttl
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-ready session facts (for ``/stats``)."""
+        return {
+            "session_id": self.session_id,
+            "domain": self.session.domain.name,
+            "relations": list(self.session.schema.names),
+            "queries_served": self.queries_served,
+            "idle_seconds": None,  # filled by the manager, which owns the clock
+        }
+
+
+def _new_session_id(counter: int) -> str:
+    """A fresh, unguessable session id (hash of counter + randomness)."""
+    combined = f"{counter}-{secrets.token_hex(16)}"
+    return hashlib.sha256(combined.encode("utf-8")).hexdigest()[:16]
+
+
+class SessionManager:
+    """Owns every live session, the shared plan cache, and the worker pool."""
+
+    def __init__(
+        self,
+        policy: ServerPolicy = DEFAULT_POLICY,
+        *,
+        clock: Optional[Callable[[], float]] = None,
+        plan_cache: Optional[PlanCache] = None,
+    ):
+        self._policy = policy
+        self._clock = clock if clock is not None else time.monotonic
+        if plan_cache is not None:
+            self._plan_cache = plan_cache
+        else:
+            store = (
+                PlanStore(policy.plan_store_path)
+                if policy.plan_store_path is not None
+                else None
+            )
+            self._plan_cache = PersistentPlanCache(
+                maxsize=policy.plan_cache_size, store=store
+            )
+        self._sessions: "OrderedDict[str, ManagedSession]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._counter = 0
+        self._created = 0
+        self._expired = 0
+        self._evicted = 0
+        self._closed = 0
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    # -- shared infrastructure ----------------------------------------------
+
+    @property
+    def policy(self) -> ServerPolicy:
+        return self._policy
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The process-wide plan cache every managed session compiles through."""
+        return self._plan_cache
+
+    @property
+    def executor(self) -> ThreadPoolExecutor:
+        """The worker pool (created lazily so library use never spawns threads)."""
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self._policy.workers,
+                    thread_name_prefix="repro-serve",
+                )
+            return self._executor
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def connect(
+        self,
+        domain: Union[str, Domain] = "equality",
+        schema: Optional[DatabaseSchema] = None,
+        *,
+        state: Optional[DatabaseState] = None,
+        **options: Any,
+    ) -> ManagedSession:
+        """Create a session; expire stale ones and evict over capacity.
+
+        ``options`` are forwarded to :class:`~repro.api.session.Session`
+        (``guard``, ``restrict``, ``budget``, ...) — except the plan cache,
+        which is always the manager's shared one.
+        """
+        options.pop("plan_cache", None)
+        options.pop("plan_cache_size", None)
+        session = Session(domain, schema, plan_cache=self._plan_cache, **options)
+        now = self._clock()
+        with self._lock:
+            self._sweep_locked(now)
+            self._counter += 1
+            session_id = _new_session_id(self._counter)
+            managed = ManagedSession(session_id, session, now, state=state)
+            self._sessions[session_id] = managed
+            while len(self._sessions) > self._policy.max_sessions:
+                _, evicted = self._sessions.popitem(last=False)
+                self._evicted += 1
+            self._created += 1
+            return managed
+
+    def get(self, session_id: str) -> ManagedSession:
+        """The live session for ``session_id`` (refreshing TTL and recency)."""
+        now = self._clock()
+        with self._lock:
+            self._sweep_locked(now)
+            managed = self._sessions.get(session_id)
+            if managed is None:
+                raise UnknownSessionError(
+                    f"unknown or expired session {session_id!r}; POST /connect "
+                    "for a fresh one"
+                )
+            managed.touch(now)
+            self._sessions.move_to_end(session_id)
+            return managed
+
+    def close(self, session_id: str) -> bool:
+        """Drop a session explicitly; True iff it was live."""
+        with self._lock:
+            managed = self._sessions.pop(session_id, None)
+            if managed is not None:
+                self._closed += 1
+            return managed is not None
+
+    def sweep(self) -> int:
+        """Expire TTL-stale sessions now; the number dropped."""
+        with self._lock:
+            return self._sweep_locked(self._clock())
+
+    def _sweep_locked(self, now: float) -> int:
+        stale = [
+            session_id
+            for session_id, managed in self._sessions.items()
+            if managed.expired(now, self._policy.session_ttl)
+        ]
+        for session_id in stale:
+            del self._sessions[session_id]
+            self._expired += 1
+        return len(stale)
+
+    def session_ids(self) -> List[str]:
+        with self._lock:
+            return list(self._sessions)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    # -- query execution -----------------------------------------------------
+
+    def run_query(
+        self,
+        session_id: str,
+        query: Any,
+        state: Optional[DatabaseState] = None,
+        *,
+        strategy: str = "auto",
+        budget: Optional[Budget] = None,
+    ) -> QueryResult:
+        """Run one query on a session, serialized on the session's lock.
+
+        The budget is clamped by server policy before execution.  An evicted
+        or expired session raises :class:`UnknownSessionError` — clients
+        reconnect rather than silently resurrect state.
+        """
+        managed = self.get(session_id)
+        clamped = self._policy.clamp(budget)
+        with managed.lock:
+            result = managed.session.run(
+                query,
+                state if state is not None else managed.state,
+                strategy=strategy,
+                budget=clamped,
+            )
+            managed.queries_served += 1
+        managed.touch(self._clock())
+        return result
+
+    def submit_query(
+        self,
+        session_id: str,
+        query: Any,
+        state: Optional[DatabaseState] = None,
+        *,
+        strategy: str = "auto",
+        budget: Optional[Budget] = None,
+    ) -> "Future[QueryResult]":
+        """:meth:`run_query` on the worker pool; distinct sessions overlap."""
+        return self.executor.submit(
+            self.run_query, session_id, query, state, strategy=strategy, budget=budget
+        )
+
+    # -- stats / teardown ----------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-ready counters across sessions and the shared caches."""
+        now = self._clock()
+        with self._lock:
+            sessions = []
+            for managed in self._sessions.values():
+                facts = managed.describe()
+                facts["idle_seconds"] = round(now - managed.last_used, 3)
+                sessions.append(facts)
+            counters = {
+                "live_sessions": len(self._sessions),
+                "created": self._created,
+                "expired": self._expired,
+                "evicted": self._evicted,
+                "closed": self._closed,
+            }
+        info = self._plan_cache.info()
+        plan_cache: Dict[str, Any] = {
+            "hits": info.hits,
+            "misses": info.misses,
+            "evictions": info.evictions,
+            "size": info.size,
+            "maxsize": info.maxsize,
+            "hit_rate": round(info.hit_rate, 4),
+        }
+        if isinstance(self._plan_cache, PersistentPlanCache):
+            plan_cache["disk_hits"] = self._plan_cache.disk_hits
+            plan_cache["disk_misses"] = self._plan_cache.disk_misses
+            store = self._plan_cache.store
+            plan_cache["store"] = None if store is None else {
+                "path": store.path,
+                "entries": len(store),
+                "store_errors": store.store_errors,
+                "corrupt_dropped": store.corrupt_dropped,
+            }
+        from ..relational.columnar import encode_cache_info
+
+        encode_info = encode_cache_info()
+        return {
+            "sessions": counters,
+            "session_details": sessions,
+            "plan_cache": plan_cache,
+            "encode_cache": {
+                "hits": encode_info.hits,
+                "misses": encode_info.misses,
+                "evictions": encode_info.evictions,
+                "size": encode_info.size,
+                "maxsize": encode_info.maxsize,
+                "grown": encode_info.grown,
+            },
+        }
+
+    def shutdown(self) -> None:
+        """Drop every session and stop the worker pool (idempotent)."""
+        with self._lock:
+            self._sessions.clear()
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)

@@ -170,3 +170,32 @@ def test_active_domain_plan_and_compiled_plan_agree_under_extra_elements():
     walker = ActiveDomainPlan(domain=domain, extra_elements=(99,))
     compiled = CompiledAlgebraPlan(domain=domain, extra_elements=(99,))
     assert walker.execute(query, state).rows() == compiled.execute(query, state).rows()
+
+
+# ---------------------------------------------------------------------------
+# hit_rate and shared-cache injection (the serving layer's additions)
+# ---------------------------------------------------------------------------
+
+
+def test_hit_rate_is_zero_before_any_lookup_and_tracks_the_fraction():
+    cache = PlanCache(maxsize=4)
+    assert cache.info().hit_rate == 0.0
+    cache.get("a")            # miss
+    cache.put("a", 1)
+    cache.get("a")            # hit
+    cache.get("a")            # hit
+    info = cache.info()
+    assert info.hit_rate == pytest.approx(2 / 3)
+    assert "hit_rate=0.67" in str(info)
+
+
+def test_sessions_accept_an_injected_shared_plan_cache():
+    shared = PlanCache(maxsize=32)
+    first = connect("eq", family_schema(), plan_cache=shared)
+    second = connect("eq", family_schema(), plan_cache=shared)
+    assert first.plan_cache is shared and second.plan_cache is shared
+    state = family_state(generations=1)
+    first.query("F(x, y)", state)
+    before = shared.info().hits
+    second.query("F(x, y)", state)    # compiled once, shared across sessions
+    assert shared.info().hits == before + 1

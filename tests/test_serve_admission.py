@@ -1,0 +1,172 @@
+"""Tests for rate limiting, load shedding, and budget clamping."""
+
+import pytest
+
+from repro.engine.budget import Budget
+from repro.serve.admission import AdmissionController, AdmissionError, TokenBucket
+from repro.serve.policy import ServerPolicy
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ---------------------------------------------------------------------------
+# TokenBucket
+# ---------------------------------------------------------------------------
+
+
+def test_bucket_burst_then_refill():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=3, clock=clock)
+    assert [bucket.try_acquire() for _ in range(4)] == [True, True, True, False]
+    clock.advance(0.5)  # refills one token at 2/s
+    assert bucket.try_acquire() and not bucket.try_acquire()
+
+
+def test_bucket_never_exceeds_burst():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=100.0, burst=2, clock=clock)
+    clock.advance(60.0)
+    assert bucket.tokens == pytest.approx(2.0)
+
+
+def test_bucket_retry_after_names_the_deficit():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=1, clock=clock)
+    assert bucket.try_acquire()
+    assert bucket.retry_after() == pytest.approx(0.5)  # 1 token at 2/s
+    clock.advance(0.5)
+    assert bucket.retry_after() == pytest.approx(0.0)
+
+
+def test_bucket_rejects_nonpositive_parameters():
+    with pytest.raises(ValueError):
+        TokenBucket(rate=0.0, burst=1, clock=FakeClock())
+    with pytest.raises(ValueError):
+        TokenBucket(rate=1.0, burst=0, clock=FakeClock())
+
+
+# ---------------------------------------------------------------------------
+# AdmissionController
+# ---------------------------------------------------------------------------
+
+
+def test_rate_limited_session_gets_429_with_retry_hint():
+    clock = FakeClock()
+    policy = ServerPolicy(rate=1.0, burst=2)
+    controller = AdmissionController(policy, clock=clock)
+    controller.admit("s1").release()
+    controller.admit("s1").release()
+    with pytest.raises(AdmissionError) as excinfo:
+        controller.admit("s1")
+    assert excinfo.value.status == 429
+    assert excinfo.value.retry_after == pytest.approx(1.0)
+    stats = controller.stats()
+    assert stats["admitted"] == 2 and stats["rejected_rate_limited"] == 1
+
+
+def test_rate_limits_are_per_session():
+    clock = FakeClock()
+    policy = ServerPolicy(rate=1.0, burst=1)
+    controller = AdmissionController(policy, clock=clock)
+    controller.admit("noisy").release()
+    with pytest.raises(AdmissionError):
+        controller.admit("noisy")
+    # an unrelated session is unaffected by the noisy neighbour
+    controller.admit("quiet").release()
+
+
+def test_over_capacity_sheds_load_with_503():
+    clock = FakeClock()
+    policy = ServerPolicy(rate=100.0, burst=100, max_inflight=2)
+    controller = AdmissionController(policy, clock=clock)
+    first = controller.admit("s1")
+    second = controller.admit("s2")
+    with pytest.raises(AdmissionError) as excinfo:
+        controller.admit("s3")
+    assert excinfo.value.status == 503
+    first.release()
+    # a slot freed up: admission resumes without waiting for the bucket
+    third = controller.admit("s3")
+    third.release()
+    second.release()
+    assert controller.stats()["inflight"] == 0
+    assert controller.stats()["rejected_over_capacity"] == 1
+
+
+def test_ticket_is_a_context_manager_and_release_is_idempotent():
+    controller = AdmissionController(ServerPolicy(), clock=FakeClock())
+    with controller.admit("s1") as ticket:
+        assert controller.stats()["inflight"] == 1
+    assert controller.stats()["inflight"] == 0
+    ticket.release()  # double release must not go negative
+    assert controller.stats()["inflight"] == 0
+
+
+def test_forget_drops_a_sessions_bucket():
+    clock = FakeClock()
+    controller = AdmissionController(ServerPolicy(rate=1.0, burst=1), clock=clock)
+    controller.admit("s1").release()
+    with pytest.raises(AdmissionError):
+        controller.admit("s1")
+    controller.forget("s1")  # fresh bucket: full burst again
+    controller.admit("s1").release()
+
+
+# ---------------------------------------------------------------------------
+# Budget clamping (ServerPolicy.clamp)
+# ---------------------------------------------------------------------------
+
+
+def test_clamp_defaults_to_the_caps():
+    policy = ServerPolicy(
+        max_rows_cap=100, max_candidates_cap=200, fuel_cap=300, time_limit_cap=4.0
+    )
+    clamped = policy.clamp(None)
+    assert (clamped.max_rows, clamped.max_candidates, clamped.fuel) == (100, 200, 300)
+    assert clamped.time_limit == 4.0
+
+
+def test_clamp_caps_but_never_raises_a_request():
+    policy = ServerPolicy(
+        max_rows_cap=100, max_candidates_cap=200, fuel_cap=300, time_limit_cap=4.0
+    )
+    greedy = Budget(max_rows=10**9, max_candidates=10**9, fuel=10**9, time_limit=600.0)
+    clamped = policy.clamp(greedy)
+    assert (clamped.max_rows, clamped.max_candidates, clamped.fuel) == (100, 200, 300)
+    assert clamped.time_limit == 4.0
+
+    modest = Budget(max_rows=5, max_candidates=7, fuel=9, time_limit=0.5)
+    kept = policy.clamp(modest)
+    assert (kept.max_rows, kept.max_candidates, kept.fuel) == (5, 7, 9)
+    assert kept.time_limit == 0.5
+
+
+def test_clamp_fills_in_a_missing_time_limit():
+    policy = ServerPolicy(time_limit_cap=2.5)
+    assert policy.clamp(Budget(time_limit=None)).time_limit == 2.5
+
+
+def test_policy_validates_its_fields():
+    with pytest.raises(ValueError):
+        ServerPolicy(max_sessions=0)
+    with pytest.raises(ValueError):
+        ServerPolicy(rate=-1.0)
+    with pytest.raises(ValueError):
+        ServerPolicy(session_ttl=0.0)
+
+
+def test_policy_describe_is_json_ready():
+    import json
+
+    payload = ServerPolicy().describe()
+    assert json.loads(json.dumps(payload)) == payload
+    assert payload["max_sessions"] == 64

@@ -1,0 +1,241 @@
+"""End-to-end tests for the asyncio HTTP/SSE front end (stdlib client only)."""
+
+import http.client
+import json
+import socket
+
+import pytest
+
+from repro.serve import ServerPolicy, SessionManager, serve_in_thread
+
+
+def request(port, method, path, payload=None):
+    """One HTTP round trip; returns (status, headers, parsed JSON body)."""
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        body = None if payload is None else json.dumps(payload)
+        connection.request(method, path, body=body)
+        response = connection.getresponse()
+        raw = response.read()
+        parsed = json.loads(raw) if raw else None
+        return response.status, dict(response.getheaders()), parsed
+    finally:
+        connection.close()
+
+
+@pytest.fixture
+def served():
+    manager = SessionManager(ServerPolicy(rate=10_000.0, burst=1_000))
+    with serve_in_thread(manager) as handle:
+        yield handle
+
+
+def connect_nat(port):
+    status, _, body = request(port, "POST", "/connect", {
+        "domain": "nat<",
+        "schema": {"S": 1},
+        "state": {"S": [[3], [5], [9]]},
+    })
+    assert status == 200
+    return body["session"]
+
+
+# ---------------------------------------------------------------------------
+# The happy path
+# ---------------------------------------------------------------------------
+
+
+def test_connect_query_explain_roundtrip(served):
+    port = served.port
+    session = connect_nat(port)
+
+    status, _, answer = request(port, "POST", "/query", {
+        "session": session,
+        "query": "exists y. exists z. (S(y) & S(z) & y < x & x < z)",
+    })
+    assert status == 200
+    assert answer["rows"] == [[4], [5], [6], [7], [8]]
+    assert answer["is_finite"] is True
+    assert answer["row_count"] == 5
+    assert "elapsed_ms" in answer and "plan" in answer
+
+    status, _, explanation = request(port, "POST", "/explain", {
+        "session": session, "query": "S(x)",
+    })
+    assert status == 200
+    assert "free variables: x" in explanation["explanation"]
+
+    status, _, stats = request(port, "GET", "/stats")
+    assert status == 200
+    assert stats["sessions"]["live_sessions"] == 1
+    assert stats["admission"]["admitted"] == 2
+    assert stats["policy"]["max_sessions"] == 64
+
+    status, _, closed = request(port, "POST", "/disconnect", {"session": session})
+    assert status == 200 and closed["closed"] is True
+
+
+def test_per_request_state_overrides_the_default(served):
+    port = served.port
+    session = connect_nat(port)
+    status, _, answer = request(port, "POST", "/query", {
+        "session": session,
+        "query": "S(x)",
+        "state": {"S": [[42]]},
+    })
+    assert status == 200 and answer["rows"] == [[42]]
+
+
+def test_budget_is_accepted_and_honoured(served):
+    port = served.port
+    session = connect_nat(port)
+    status, _, answer = request(port, "POST", "/query", {
+        "session": session,
+        "query": "S(x)",
+        "budget": {"max_rows": 2},
+    })
+    assert status == 200 and answer["row_count"] == 2  # truncated by the budget
+
+
+# ---------------------------------------------------------------------------
+# SSE streaming
+# ---------------------------------------------------------------------------
+
+
+def parse_sse(raw):
+    """Parse an SSE byte stream into a list of (event, data) pairs."""
+    events = []
+    for block in raw.decode("utf-8").split("\n\n"):
+        if not block.strip():
+            continue
+        event, data = None, None
+        for line in block.split("\n"):
+            if line.startswith("event: "):
+                event = line[len("event: "):]
+            elif line.startswith("data: "):
+                data = json.loads(line[len("data: "):])
+        events.append((event, data))
+    return events
+
+
+def test_sse_streams_rows_in_chunks():
+    manager = SessionManager(
+        ServerPolicy(rate=10_000.0, burst=1_000, sse_chunk_rows=2)
+    )
+    with serve_in_thread(manager) as handle:
+        session = connect_nat(handle.port)
+        connection = http.client.HTTPConnection("127.0.0.1", handle.port, timeout=30)
+        try:
+            connection.request("POST", "/query", body=json.dumps({
+                "session": session,
+                "query": "exists y. exists z. (S(y) & S(z) & y < x & x < z)",
+                "stream": True,
+            }))
+            response = connection.getresponse()
+            assert response.status == 200
+            assert response.getheader("Content-Type") == "text/event-stream"
+            events = parse_sse(response.read())
+        finally:
+            connection.close()
+    names = [name for name, _ in events]
+    assert names[0] == "meta" and names[-1] == "done"
+    row_chunks = [data for name, data in events if name == "rows"]
+    assert len(row_chunks) == 3           # 5 rows in chunks of 2
+    rows = [row for chunk in row_chunks for row in chunk]
+    assert rows == [[4], [5], [6], [7], [8]]
+    meta = events[0][1]
+    assert meta["row_count"] == 5
+    done = events[-1][1]
+    assert done["row_count"] == 5
+
+
+# ---------------------------------------------------------------------------
+# Admission over HTTP
+# ---------------------------------------------------------------------------
+
+
+def test_rate_limited_request_gets_429_with_retry_after():
+    manager = SessionManager(ServerPolicy(rate=0.001, burst=2))
+    with serve_in_thread(manager) as handle:
+        port = handle.port
+        session = connect_nat(port)  # /connect is not rate limited
+        status, _, _ = request(port, "POST", "/query", {
+            "session": session, "query": "S(x)",
+        })
+        assert status == 200
+        status, _, _ = request(port, "POST", "/query", {
+            "session": session, "query": "S(x)",
+        })
+        assert status == 200
+        status, headers, error = request(port, "POST", "/query", {
+            "session": session, "query": "S(x)",
+        })
+        assert status == 429
+        assert float(headers["Retry-After"]) > 0
+        assert "exceeded" in error["error"]
+        _, _, stats = request(port, "GET", "/stats")
+        assert stats["admission"]["rejected_rate_limited"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Error mapping
+# ---------------------------------------------------------------------------
+
+
+def test_bad_requests_get_400(served):
+    port = served.port
+    session = connect_nat(port)
+
+    # malformed JSON body
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        connection.request("POST", "/query", body="{not json")
+        assert connection.getresponse().status == 400
+    finally:
+        connection.close()
+
+    # missing session / missing query / unparsable query / bad budget
+    assert request(port, "POST", "/query", {"query": "S(x)"})[0] == 400
+    assert request(port, "POST", "/query", {"session": session})[0] == 400
+    assert request(port, "POST", "/query", {
+        "session": session, "query": "S(x",
+    })[0] == 400
+    assert request(port, "POST", "/query", {
+        "session": session, "query": "S(x)", "budget": {"max_rows": -1},
+    })[0] == 400
+    assert request(port, "POST", "/query", {
+        "session": session, "query": "S(x)", "budget": {"nonsense": 1},
+    })[0] == 400
+
+    # unknown domain / bad schema on connect
+    assert request(port, "POST", "/connect", {"domain": "no-such"})[0] == 400
+    assert request(port, "POST", "/connect", {"schema": [1, 2]})[0] == 400
+
+
+def test_unknown_session_gets_404(served):
+    status, _, error = request(served.port, "POST", "/query", {
+        "session": "0000000000000000", "query": "S(x)",
+    })
+    assert status == 404 and "unknown or expired" in error["error"]
+
+
+def test_unknown_route_404_and_wrong_method_405(served):
+    assert request(served.port, "GET", "/nope")[0] == 404
+    assert request(served.port, "GET", "/query")[0] == 405
+    assert request(served.port, "POST", "/stats")[0] == 405
+
+
+# ---------------------------------------------------------------------------
+# Shutdown
+# ---------------------------------------------------------------------------
+
+
+def test_clean_shutdown_releases_the_port():
+    manager = SessionManager(ServerPolicy())
+    handle = serve_in_thread(manager).start()
+    port = handle.port
+    connect_nat(port)
+    handle.close()
+    with pytest.raises((ConnectionRefusedError, socket.timeout, OSError)):
+        request(port, "GET", "/stats")
+    assert len(manager) == 0  # sessions dropped by the shutdown

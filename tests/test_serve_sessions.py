@@ -1,0 +1,236 @@
+"""Tests for the session manager: lifecycle, locks, shared caches."""
+
+import threading
+import time
+
+import pytest
+
+from repro.engine.budget import Budget
+from repro.experiments.corpora import numeric_schema
+from repro.serve.policy import ServerPolicy
+from repro.serve.sessions import SessionManager, UnknownSessionError
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def manager():
+    manager = SessionManager(ServerPolicy(max_sessions=4, session_ttl=10.0))
+    yield manager
+    manager.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle
+# ---------------------------------------------------------------------------
+
+
+def test_connect_returns_distinct_unguessable_ids(manager):
+    first = manager.connect("equality")
+    second = manager.connect("equality")
+    assert first.session_id != second.session_id
+    assert len(first.session_id) == 16
+    assert manager.get(first.session_id) is first
+    assert manager.get(second.session_id) is second
+
+
+def test_unknown_session_raises(manager):
+    with pytest.raises(UnknownSessionError):
+        manager.get("deadbeef00000000")
+
+
+def test_sessions_expire_after_ttl():
+    clock = FakeClock()
+    manager = SessionManager(
+        ServerPolicy(session_ttl=10.0), clock=clock
+    )
+    try:
+        managed = manager.connect("equality")
+        clock.advance(9.0)
+        assert manager.get(managed.session_id) is managed  # use refreshes TTL
+        clock.advance(9.0)
+        assert manager.get(managed.session_id) is managed
+        clock.advance(11.0)
+        with pytest.raises(UnknownSessionError):
+            manager.get(managed.session_id)
+        assert manager.stats()["sessions"]["expired"] == 1
+    finally:
+        manager.shutdown()
+
+
+def test_lru_eviction_beyond_max_sessions():
+    clock = FakeClock()
+    manager = SessionManager(
+        ServerPolicy(max_sessions=2, session_ttl=1000.0), clock=clock
+    )
+    try:
+        first = manager.connect("equality")
+        second = manager.connect("equality")
+        manager.get(first.session_id)       # refresh: second becomes LRU
+        third = manager.connect("equality")
+        assert set(manager.session_ids()) == {first.session_id, third.session_id}
+        with pytest.raises(UnknownSessionError):
+            manager.get(second.session_id)
+        assert manager.stats()["sessions"]["evicted"] == 1
+    finally:
+        manager.shutdown()
+
+
+def test_close_drops_a_session(manager):
+    managed = manager.connect("equality")
+    assert manager.close(managed.session_id)
+    assert not manager.close(managed.session_id)
+    with pytest.raises(UnknownSessionError):
+        manager.get(managed.session_id)
+
+
+# ---------------------------------------------------------------------------
+# Shared plan cache
+# ---------------------------------------------------------------------------
+
+
+def test_sessions_share_the_managers_plan_cache(manager):
+    a = manager.connect("nat<", numeric_schema())
+    b = manager.connect("nat<", numeric_schema())
+    assert a.session.plan_cache is manager.plan_cache
+    assert b.session.plan_cache is manager.plan_cache
+
+    state = a.session.state({"S": [(1,), (4,)]})
+    manager.run_query(a.session_id, "S(x)", state, strategy="vectorized")
+    before = manager.plan_cache.info()
+    # the *other* session running the same query hits the shared cache
+    manager.run_query(b.session_id, "S(x)", state, strategy="vectorized")
+    after = manager.plan_cache.info()
+    assert after.hits == before.hits + 1
+    assert after.misses == before.misses
+
+
+def test_connect_cannot_opt_out_of_the_shared_cache(manager):
+    from repro.engine.plan_cache import PlanCache
+
+    rogue = PlanCache(maxsize=1)
+    managed = manager.connect("equality", plan_cache=rogue, plan_cache_size=7)
+    assert managed.session.plan_cache is manager.plan_cache
+
+
+# ---------------------------------------------------------------------------
+# Query execution: clamping and serialization
+# ---------------------------------------------------------------------------
+
+
+def test_run_query_clamps_the_budget():
+    manager = SessionManager(
+        ServerPolicy(max_rows_cap=7, max_candidates_cap=11, fuel_cap=13)
+    )
+    try:
+        managed = manager.connect("equality")
+        seen = {}
+        original_run = managed.session.run
+
+        def spying_run(query, state=None, **kwargs):
+            seen["budget"] = kwargs.get("budget")
+            return original_run(query, state, **kwargs)
+
+        managed.session.run = spying_run  # type: ignore[method-assign]
+        manager.run_query(
+            managed.session_id, "x = 1", budget=Budget(max_rows=10**9)
+        )
+        assert seen["budget"].max_rows == 7
+        assert seen["budget"].max_candidates == 11
+        assert seen["budget"].fuel == 13
+    finally:
+        manager.shutdown()
+
+
+def test_same_session_serializes_distinct_sessions_overlap():
+    manager = SessionManager(ServerPolicy(workers=4))
+    try:
+        a = manager.connect("equality")
+        b = manager.connect("equality")
+        running = {"current": 0, "max_same": 0, "max_total": 0}
+        guard = threading.Lock()
+        per_session = {a.session_id: 0, b.session_id: 0}
+
+        def slow_run(session_id):
+            def run(query, state=None, **kwargs):
+                with guard:
+                    per_session[session_id] += 1
+                    running["current"] += 1
+                    running["max_total"] = max(running["max_total"], running["current"])
+                    running["max_same"] = max(
+                        running["max_same"], per_session[session_id]
+                    )
+                time.sleep(0.05)
+                with guard:
+                    per_session[session_id] -= 1
+                    running["current"] -= 1
+                return original_runs[session_id](query, state, **kwargs)
+
+            return run
+
+        original_runs = {
+            a.session_id: a.session.run,
+            b.session_id: b.session.run,
+        }
+        a.session.run = slow_run(a.session_id)  # type: ignore[method-assign]
+        b.session.run = slow_run(b.session_id)  # type: ignore[method-assign]
+
+        futures = []
+        for _ in range(3):
+            futures.append(manager.submit_query(a.session_id, "x = 1"))
+            futures.append(manager.submit_query(b.session_id, "x = 1"))
+        for future in futures:
+            future.result(timeout=30)
+
+        assert running["max_same"] == 1       # one session's queries serialize
+        assert running["max_total"] >= 2      # ...but distinct sessions overlap
+    finally:
+        manager.shutdown()
+
+
+def test_default_state_from_connect_is_used(manager):
+    schema = numeric_schema()
+    managed = manager.connect("nat<", schema)
+    managed.state = managed.session.state({"S": [(2,), (8,)]})
+    result = manager.run_query(managed.session_id, "S(x)", strategy="vectorized")
+    assert result.answer.rows() == ((2,), (8,))
+
+
+# ---------------------------------------------------------------------------
+# Stats / teardown
+# ---------------------------------------------------------------------------
+
+
+def test_stats_reports_sessions_and_caches(manager):
+    managed = manager.connect("nat<", numeric_schema())
+    state = managed.session.state({"S": [(1,)]})
+    manager.run_query(managed.session_id, "S(x)", state, strategy="vectorized")
+    stats = manager.stats()
+    assert stats["sessions"]["live_sessions"] == 1
+    assert stats["plan_cache"]["maxsize"] == manager.policy.plan_cache_size
+    assert "hit_rate" in stats["plan_cache"]
+    assert "encode_cache" in stats
+    (facts,) = stats["session_details"]
+    assert facts["queries_served"] == 1
+    assert facts["domain"] == "naturals_with_order"
+    import json
+
+    json.dumps(stats)  # the whole payload must be JSON-serializable
+
+
+def test_shutdown_is_idempotent_and_drops_sessions():
+    manager = SessionManager(ServerPolicy())
+    managed = manager.connect("equality")
+    manager.submit_query(managed.session_id, "x = 1").result(timeout=30)
+    manager.shutdown()
+    manager.shutdown()
+    assert len(manager) == 0

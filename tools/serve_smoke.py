@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Smoke test for the query service: boot, round-trip, rate-limit, shutdown.
+
+Starts ``repro.serve`` on an ephemeral port in a background thread, then
+drives it with stdlib ``http.client`` only:
+
+1. ``POST /connect`` → a session id;
+2. ``POST /query`` → the strictly-between answer, byte-exact;
+3. ``POST /explain`` + ``GET /stats`` → sane JSON;
+4. a burst past the token bucket → one 429 with a ``Retry-After`` hint;
+5. clean shutdown → the port stops accepting and no sessions leak.
+
+Exits non-zero (with a traceback) on the first broken expectation.  CI runs
+this as the ``serve-smoke`` job; locally: ``PYTHONPATH=src python
+tools/serve_smoke.py``.
+"""
+
+import http.client
+import json
+import socket
+import sys
+
+from repro.serve import ServerPolicy, SessionManager, serve_in_thread
+
+
+def request(port, method, path, payload=None):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        body = None if payload is None else json.dumps(payload)
+        connection.request(method, path, body=body)
+        response = connection.getresponse()
+        raw = response.read()
+        return response.status, dict(response.getheaders()), (
+            json.loads(raw) if raw else None
+        )
+    finally:
+        connection.close()
+
+
+def main() -> int:
+    manager = SessionManager(ServerPolicy(rate=2.0, burst=8))
+    with serve_in_thread(manager) as handle:
+        port = handle.port
+        print(f"server up on 127.0.0.1:{port}")
+
+        status, _, body = request(port, "POST", "/connect", {
+            "domain": "nat<",
+            "schema": {"S": 1},
+            "state": {"S": [[3], [5], [9]]},
+        })
+        assert status == 200, (status, body)
+        session = body["session"]
+        print(f"connected: session {session}")
+
+        status, _, answer = request(port, "POST", "/query", {
+            "session": session,
+            "query": "exists y. exists z. (S(y) & S(z) & y < x & x < z)",
+        })
+        assert status == 200, (status, answer)
+        assert answer["rows"] == [[4], [5], [6], [7], [8]], answer
+        print(f"query ok: {answer['row_count']} rows via {answer['plan']}")
+
+        # same query twice on the vectorized substrate: second is a cache hit
+        for _ in range(2):
+            status, _, answer = request(port, "POST", "/query", {
+                "session": session,
+                "query": "S(x)",
+                "strategy": "vectorized",
+            })
+            assert status == 200, (status, answer)
+            assert answer["rows"] == [[3], [5], [9]], answer
+
+        status, _, explanation = request(port, "POST", "/explain", {
+            "session": session,
+            "query": "S(x)",
+        })
+        assert status == 200 and "free variables" in explanation["explanation"]
+        print("explain ok")
+
+        status, _, stats = request(port, "GET", "/stats")
+        assert status == 200 and stats["sessions"]["live_sessions"] == 1, stats
+        assert stats["plan_cache"]["hits"] >= 1, stats["plan_cache"]
+        print(f"stats ok: plan cache {stats['plan_cache']}")
+
+        # burn the remaining burst, then expect a 429 with a retry hint
+        rejected = None
+        for _ in range(10):
+            status, headers, body = request(port, "POST", "/query", {
+                "session": session, "query": "S(x)",
+            })
+            if status == 429:
+                rejected = (status, headers, body)
+                break
+            assert status == 200, (status, body)
+        assert rejected is not None, "token bucket never rejected the burst"
+        status, headers, body = rejected
+        assert float(headers["Retry-After"]) > 0, headers
+        print(f"rate limit ok: 429, Retry-After {headers['Retry-After']}s")
+
+    # context exit stopped the server and shut the manager down
+    try:
+        request(port, "GET", "/stats")
+    except (ConnectionRefusedError, socket.timeout, OSError):
+        pass
+    else:
+        raise AssertionError("port still accepting after shutdown")
+    assert len(manager) == 0, "sessions leaked across shutdown"
+    print("shutdown ok: port released, no sessions leaked")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
