@@ -10,9 +10,15 @@ These characterise how the decision procedures and simulators scale:
 * relational algebra joins vs relation size;
 * the compiled relational-algebra backend vs the tree-walking evaluator on
   guard-certified queries (the CI regression gate watches this one);
-* the three execution substrates (tree walker / compiled set executor /
-  vectorized NumPy columnar executor) head-to-head on int-domain states,
-  asserting the vectorized path wins at the largest size;
+* the four execution substrates (tree walker / compiled set executor /
+  vectorized NumPy columnar executor / morsel-parallel executor)
+  head-to-head on int-domain states, asserting the vectorized path wins at
+  the largest size (the parallel arm's time is recorded but its ratio is
+  not gated here — see the next item);
+* the morsel-parallel substrate against the single-threaded vectorized
+  executor on pad-heavy workloads, asserting a ≥2× speedup at the largest
+  size (gated ratio ``speedup_parallel``; skipped cleanly on machines with
+  fewer than 4 cores, and absent ratios never fail the CI gate);
 * the plan optimizer's blowup guard: the "strictly between two members"
   query at growing adom sizes, asserting the optimized plan's peak
   intermediate row count stays O(answer) (no |adom|^2 materialisation), a
@@ -176,17 +182,23 @@ def test_perf_compiled_algebra_vs_tree_walk(benchmark, generations):
         )
 
 
-#: int-domain state sizes for the three-way substrate comparison; the last
+#: int-domain state sizes for the four-way substrate comparison; the last
 #: one is where the ISSUE's ≥3× vectorized-vs-compiled criterion is checked
 _INT_SIZES = (64, 256, 1024)
 
 
 @pytest.mark.parametrize("size", _INT_SIZES)
-def test_perf_vectorized_three_way(benchmark, size):
+def test_perf_vectorized_four_way(benchmark, size):
     """Tree walker vs compiled set executor vs vectorized columnar executor
-    on ``(N, <)``-style queries over growing integer states: the vectorized
-    path must beat the compiled set executor by ≥3× at the largest size."""
+    vs morsel-parallel executor on ``(N, <)``-style queries over growing
+    integer states: the vectorized path must beat the compiled set executor
+    by ≥3× at the largest size.  The parallel arm is timed and checked for
+    equivalence, but its ratio is deliberately *not* gated here — these
+    states are small enough that the outcome depends on the runner's core
+    count (the dedicated ``test_perf_parallel_speedup`` below gates it,
+    with a cores-aware skip)."""
     from repro.relational.columnar import run_plan_vectorized
+    from repro.relational.parallel import run_plan_parallel
 
     domain = PresburgerDomain()
     state = numeric_state([3 * i + 1 for i in range(size)])
@@ -221,17 +233,29 @@ def test_perf_vectorized_three_way(benchmark, size):
         for q in queries
     ]
     tree_walk_seconds = time.perf_counter() - started
-    for vec_rows, set_answer, tree_answer in zip(fast, set_answers, tree_answers):
-        assert vec_rows == set_answer.rows == tree_answer.rows
+    parallel_seconds = float("inf")
+    for _ in range(3):
+        started = time.perf_counter()
+        parallel_answers = [
+            run_plan_parallel(c.plan, state, c.universe(state), domain)
+            for c in compiled
+        ]
+        parallel_seconds = min(parallel_seconds, time.perf_counter() - started)
+    for vec_rows, par_rows, set_answer, tree_answer in zip(
+        fast, parallel_answers, set_answers, tree_answers
+    ):
+        assert vec_rows == par_rows == set_answer.rows == tree_answer.rows
     vectorized_seconds = benchmark.stats.stats.min
     speedup_vs_set = set_seconds / vectorized_seconds
     benchmark.extra_info["rows"] = state.total_rows()
     benchmark.extra_info["set_seconds"] = set_seconds
     benchmark.extra_info["tree_walk_seconds"] = tree_walk_seconds
+    benchmark.extra_info["parallel_seconds"] = parallel_seconds
     benchmark.extra_info["speedup_vs_set"] = speedup_vs_set
     print(
         f"\n[substrates] size={size} tree-walk={tree_walk_seconds:.4f}s "
         f"set={set_seconds:.4f}s vectorized={vectorized_seconds:.5f}s "
+        f"parallel={parallel_seconds:.5f}s "
         f"vectorized-vs-set={speedup_vs_set:.1f}x"
     )
     if size == _INT_SIZES[-1]:
@@ -239,6 +263,83 @@ def test_perf_vectorized_three_way(benchmark, size):
             f"vectorized executor only {speedup_vs_set:.1f}x faster than the "
             f"compiled set executor at {size} stored ints; the ISSUE "
             "requires >=3x"
+        )
+
+
+#: int-domain state sizes for the gated parallel-vs-vectorized comparison;
+#: the last one (a ~4M-row pad/select/unique workload) is where the ISSUE's
+#: ≥2× parallel criterion is checked
+_PARALLEL_SIZES = (512, 2048)
+
+#: cores below which the parallel speedup gate is skipped (the ISSUE's
+#: criterion is defined "on ≥4 cores"; a 1-2 core runner cannot meet it)
+_PARALLEL_MIN_CORES = 4
+
+
+@pytest.mark.parametrize("size", _PARALLEL_SIZES)
+def test_perf_parallel_speedup(benchmark, size):
+    """Morsel-parallel vs single-threaded vectorized execution on a pad-heavy
+    ``(N, <)`` workload: ≥2× at the largest size on ≥4 cores.
+
+    The ``below-member`` query compiled *unoptimized* pads the free variable
+    over the full adom before filtering, so at 2048 stored ints the executor
+    crunches a ~4M-row intermediate — enough work per morsel that the pool's
+    dispatch overhead vanishes.  On runners with fewer than
+    ``_PARALLEL_MIN_CORES`` usable workers the test skips cleanly; the CI
+    regression gate (``compare_bench.py``) ignores absent benchmarks and
+    ratios, so a baseline regenerated on a small machine stays valid.
+    """
+    import os
+
+    from repro.relational.columnar import run_plan_vectorized
+    from repro.relational.parallel import default_worker_count, run_plan_parallel
+
+    cores = os.cpu_count() or 1
+    workers = default_worker_count()
+    if min(cores, workers) < _PARALLEL_MIN_CORES:
+        pytest.skip(
+            f"parallel speedup gate needs >={_PARALLEL_MIN_CORES} cores "
+            f"(have {cores}, worker pool {workers})"
+        )
+
+    domain = PresburgerDomain()
+    state = numeric_state([3 * i + 1 for i in range(size)])
+    corpus = {name: query for name, query, _finite in ordered_query_corpus()}
+    # Unoptimized on purpose: the optimizer would collapse the pad into a
+    # range scan, and this benchmark needs a data-sized kernel workload.
+    compiled = compile_query(
+        corpus["below-member"], state.schema, domain, optimize=False
+    )
+    adom = compiled.universe(state)
+
+    def run_parallel():
+        return run_plan_parallel(compiled.plan, state, adom, domain)
+
+    run_parallel()  # warm the pool and numpy before timing
+    fast = benchmark.pedantic(run_parallel, iterations=3, rounds=3)
+    # Min of three runs: speedup_parallel feeds the dimensionless CI gate.
+    vectorized_seconds = float("inf")
+    for _ in range(3):
+        started = time.perf_counter()
+        slow = run_plan_vectorized(compiled.plan, state, adom, domain)
+        vectorized_seconds = min(vectorized_seconds, time.perf_counter() - started)
+    assert fast == slow
+    parallel_seconds = benchmark.stats.stats.min
+    speedup = vectorized_seconds / parallel_seconds
+    benchmark.extra_info["rows"] = state.total_rows()
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["vectorized_seconds"] = vectorized_seconds
+    benchmark.extra_info["speedup_parallel"] = speedup
+    print(
+        f"\n[parallel] size={size} workers={workers} "
+        f"vectorized={vectorized_seconds:.4f}s parallel={parallel_seconds:.4f}s "
+        f"speedup={speedup:.1f}x"
+    )
+    if size == _PARALLEL_SIZES[-1]:
+        assert speedup >= 2.0, (
+            f"morsel-parallel executor only {speedup:.1f}x faster than the "
+            f"single-threaded vectorized executor at {size} stored ints on "
+            f"{workers} workers; the ISSUE requires >=2x on >=4 cores"
         )
 
 

@@ -8,7 +8,7 @@ request into a concrete :class:`~repro.engine.plans.Plan`:
   enumeration (decidable theory) or active-domain semantics (otherwise);
 * ``"guarded"`` — like ``"auto"`` but fails loudly when no guard exists
   (e.g. the trace domain, Theorems 3.1/3.3);
-* ``"active-domain"`` / ``"compiled"`` / ``"vectorized"`` /
+* ``"active-domain"`` / ``"compiled"`` / ``"vectorized"`` / ``"parallel"`` /
   ``"enumeration"`` — force a bare strategy, bypassing the guards (useful for
   studying budget exhaustion on infinite queries, or for benchmarking one
   execution substrate directly).
@@ -48,6 +48,7 @@ class Planner:
         finite_is_domain_independent: bool = False,
         supports_compiled_algebra: bool = False,
         supports_vectorized: bool = False,
+        supports_parallel: bool = False,
         plan_cache: Optional[PlanCache] = None,
     ):
         self._domain = domain
@@ -56,6 +57,7 @@ class Planner:
         self._finite_is_di = finite_is_domain_independent
         self._compilable = supports_compiled_algebra
         self._vectorizable = supports_vectorized
+        self._parallelizable = supports_parallel
         self._plan_cache = plan_cache
 
     @property
@@ -94,18 +96,34 @@ class Planner:
             # active-domain evaluation is exact — and far cheaper than the
             # Section 1.1 enumeration.  When the domain additionally supports
             # the compiled relational-algebra backend, prefer it: same
-            # active-domain answer, computed set-at-a-time — and when its
+            # active-domain answer, computed set-at-a-time — when its
             # carriers also encode to int64 columns, prefer the vectorized
-            # columnar executor over the set executor.
+            # columnar executor over the set executor — and when the registry
+            # additionally flags the domain parallel-capable, put the
+            # morsel-parallel substrate on top of the ladder (its size
+            # heuristic keeps small states single-threaded).
             from ..engine.plans import (
                 ActiveDomainPlan,
                 CompiledAlgebraPlan,
                 GuardedPlan,
+                ParallelAlgebraPlan,
                 VectorizedAlgebraPlan,
             )
 
-            if self._compilable and self._vectorizable:
-                inner: Plan = VectorizedAlgebraPlan(
+            if self._compilable and self._vectorizable and self._parallelizable:
+                inner: Plan = ParallelAlgebraPlan(
+                    domain=self._domain,
+                    budget=budget if budget is not None else Budget(),
+                    extra_elements=tuple(extra_elements),
+                    cache=self._plan_cache,
+                    reason=f"over {self._domain.name!r} every finite query is "
+                    "domain-independent and carriers encode to int64 columns, "
+                    "so guard-certified queries are answered by the vectorized "
+                    "columnar executor, morsel-parallel on large states "
+                    "(exact, set semantics)",
+                )
+            elif self._compilable and self._vectorizable:
+                inner = VectorizedAlgebraPlan(
                     domain=self._domain,
                     budget=budget if budget is not None else Budget(),
                     extra_elements=tuple(extra_elements),

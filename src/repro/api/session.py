@@ -179,6 +179,9 @@ class Session:
             supports_vectorized=(
                 entry is not None and entry.supports_vectorized
             ),
+            supports_parallel=(
+                entry is not None and entry.supports_parallel
+            ),
             plan_cache=self._plan_cache,
         )
 

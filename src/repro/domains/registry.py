@@ -69,6 +69,13 @@ class DomainEntry:
     #: the set executor transparently when a specific plan or carrier resists
     #: vectorization, with the reason recorded in ``explain()``.
     supports_vectorized: bool = False
+    #: True when vectorized plans may additionally run morsel-parallel on the
+    #: process-wide worker pool (:mod:`repro.relational.parallel`).  The
+    #: planner then puts strategy ``"parallel"`` at the top of the fallback
+    #: ladder (parallel → vectorized → set executor → tree walker); a size
+    #: heuristic keeps small states single-threaded either way.  Requires
+    #: ``supports_vectorized``.
+    supports_parallel: bool = False
     #: True when the carrier is totally ordered by the standard integer
     #: comparison *and* the domain's ``<``/``<=``/``>``/``>=`` predicates
     #: have exactly that semantics.  The plan optimizer
@@ -203,6 +210,7 @@ def _register_builtins() -> None:
         finite_implies_domain_independent=True,
         supports_compiled_algebra=True,
         supports_vectorized=True,
+        supports_parallel=True,
     ))
     register_domain(DomainEntry(
         name="naturals_with_order",
@@ -213,6 +221,7 @@ def _register_builtins() -> None:
         syntax_factory=_finitization_syntax,
         supports_compiled_algebra=True,
         supports_vectorized=True,
+        supports_parallel=True,
         ordered_carrier=True,
     ))
     register_domain(DomainEntry(
@@ -224,6 +233,7 @@ def _register_builtins() -> None:
         syntax_factory=_finitization_syntax,
         supports_compiled_algebra=True,
         supports_vectorized=True,
+        supports_parallel=True,
         ordered_carrier=True,
     ))
     register_domain(DomainEntry(
@@ -234,6 +244,7 @@ def _register_builtins() -> None:
         syntax_factory=_finitization_syntax_integers,
         supports_compiled_algebra=True,
         supports_vectorized=True,
+        supports_parallel=True,
         ordered_carrier=True,
     ))
     register_domain(DomainEntry(

@@ -14,6 +14,10 @@ the paper's evaluation disciplines across three execution substrates:
 * :class:`VectorizedAlgebraPlan` — the same algebra plans lowered to
   vectorized NumPy column kernels, with a transparent fallback ladder
   (vectorized → set executor → tree walker) recorded in ``explain()``;
+* :class:`ParallelAlgebraPlan` — the same vectorized kernels partitioned
+  into morsels and run on a shared worker pool, with a size heuristic so
+  small states stay single-threaded (ladder: parallel → vectorized → set
+  executor → tree walker);
 * :class:`EnumerationPlan` — the Section 1.1 enumeration algorithm, complete
   for arbitrary finite queries over a domain with a decidable theory, bounded
   by a :class:`~repro.engine.budget.Budget`;
@@ -45,6 +49,7 @@ from ..relational.columnar import (
     vectorization_obstacle,
 )
 from ..relational.compile import CompilationError, CompiledQuery, compile_query
+from ..relational.parallel import DEFAULT_MORSEL_ROWS, MorselStats, run_plan_parallel
 from ..relational.state import DatabaseState, Element, Relation
 from ..safety.classes import FinitenessStatus, SafetyVerdict
 from ..safety.effective_syntax import EffectiveSyntax
@@ -58,6 +63,7 @@ __all__ = [
     "ActiveDomainPlan",
     "CompiledAlgebraPlan",
     "VectorizedAlgebraPlan",
+    "ParallelAlgebraPlan",
     "EnumerationPlan",
     "GuardedPlan",
     "GuardedOutcome",
@@ -95,7 +101,8 @@ def decide_or_semidecide(
 
 #: the strategy names understood by :func:`plan_for_strategy`
 STRATEGIES = (
-    "auto", "active-domain", "compiled", "vectorized", "enumeration", "guarded",
+    "auto", "active-domain", "compiled", "vectorized", "parallel",
+    "enumeration", "guarded",
 )
 
 
@@ -339,6 +346,95 @@ class VectorizedAlgebraPlan(CompiledAlgebraPlan):
 
 
 @dataclass(eq=False)
+class ParallelAlgebraPlan(VectorizedAlgebraPlan):
+    """Run the vectorized kernels morsel-parallel on a shared worker pool.
+
+    The fourth execution substrate, and the top of the transparent fallback
+    ladder (parallel → vectorized → set executor → tree walker).  The same
+    algebra plan a :class:`VectorizedAlgebraPlan` lowers to NumPy kernels is
+    partitioned into fixed-size row chunks ("morsels") and dispatched to the
+    process-wide thread pool of :mod:`repro.relational.parallel` — NumPy
+    releases the GIL inside its kernels, so the chunks genuinely run on
+    multiple cores.  Tiny states skip the pool: below
+    ``parallel_threshold`` total input rows the plan answers through the
+    single-threaded vectorized path, because thread dispatch would cost more
+    than it saves.  :meth:`explain` records worker counts, morsel counts,
+    and per-stage merge statistics of the last parallel execution.
+    """
+
+    reason: str = (
+        "the query compiles to relational algebra, lowers to vectorized "
+        "NumPy kernels, and runs them morsel-parallel on the shared worker "
+        "pool; small states stay single-threaded"
+    )
+    #: rows per morsel handed to the worker pool
+    morsel_rows: int = DEFAULT_MORSEL_ROWS
+    #: total input rows (stored + active domain) below which the pool is skipped
+    parallel_threshold: int = 2048
+    #: morsel/merge accounting of the last parallel execution, for explain()
+    last_morsels: Optional[str] = None
+
+    strategy = "parallel"
+    _substrate: ClassVar[str] = "parallel"
+
+    def execute(self, query: Formula, state: DatabaseState) -> Answer:
+        self.last_morsels = None
+        try:
+            compiled, obstacle = self._vectorized(query, state)
+        except CompilationError as error:
+            self.fallback_reason = (
+                str(error) + "; answered by the tree-walking active-domain "
+                "evaluator instead"
+            )
+            self.last_summary = None
+            return self._tree_walk_answer(query, state)
+        self.last_summary = compiled.summary()
+        if obstacle is None:
+            universe = compiled.universe(state, self.extra_elements)
+            size = state.total_rows() + len(universe)
+            try:
+                if size < self.parallel_threshold:
+                    rows = run_plan_vectorized(
+                        compiled.plan, state, universe, self.domain
+                    )
+                    self.fallback_reason = (
+                        f"state too small for the pool ({size} < "
+                        f"{self.parallel_threshold} rows); ran the "
+                        "single-threaded vectorized kernels instead"
+                    )
+                    method = "vectorized"
+                else:
+                    stats = MorselStats()
+                    rows = run_plan_parallel(
+                        compiled.plan,
+                        state,
+                        universe,
+                        self.domain,
+                        morsel_rows=self.morsel_rows,
+                        stats=stats,
+                    )
+                    self.fallback_reason = None
+                    self.last_morsels = stats.describe()
+                    method = "parallel"
+            except VectorizationError as error:
+                obstacle = str(error)
+            else:
+                relation = Relation(len(compiled.output), rows)
+                return FiniteAnswer(relation, method=method)
+        self.fallback_reason = (
+            obstacle + "; executed by the set-at-a-time executor instead"
+        )
+        relation = compiled.execute(state, self.domain, self.extra_elements)
+        return FiniteAnswer(relation, method="compiled-algebra")
+
+    def explain(self) -> str:
+        text = super().explain()
+        if self.last_morsels:
+            text += "; morsels: " + self.last_morsels
+        return text
+
+
+@dataclass(eq=False)
 class EnumerationPlan(Plan):
     """Run the Section 1.1 enumeration algorithm (needs a decidable theory).
 
@@ -487,6 +583,17 @@ def plan_for_strategy(
             "column kernels, falling back to the set executor (and, when "
             "compilation bails, the tree walker)",
         )
+    elif strategy == "parallel":
+        inner = ParallelAlgebraPlan(
+            domain=domain,
+            budget=budget,
+            extra_elements=tuple(extra_elements),
+            cache=cache,
+            reason="requested explicitly; runs the vectorized NumPy kernels "
+            "morsel-parallel on the shared worker pool (small states stay "
+            "single-threaded), falling back to the set executor (and, when "
+            "compilation bails, the tree walker)",
+        )
     elif strategy == "enumeration":
         inner = EnumerationPlan(
             domain=domain,
@@ -519,7 +626,9 @@ def plan_for_strategy(
         )
     if syntax is None and safety is None:
         return inner
-    if strategy in ("active-domain", "compiled", "vectorized", "enumeration"):
+    if strategy in (
+        "active-domain", "compiled", "vectorized", "parallel", "enumeration"
+    ):
         # Explicit single-strategy requests bypass the guards.
         return inner
     parts = []

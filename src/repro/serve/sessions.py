@@ -41,6 +41,7 @@ from ..api.session import QueryResult, Session
 from ..domains.base import Domain
 from ..engine.budget import Budget
 from ..engine.plan_cache import PlanCache
+from ..relational.parallel import configure_worker_pool, worker_pool_info
 from ..relational.schema import DatabaseSchema
 from ..relational.state import DatabaseState
 from .plan_store import PersistentPlanCache, PlanStore
@@ -127,6 +128,13 @@ class SessionManager:
         self._evicted = 0
         self._closed = 0
         self._executor: Optional[ThreadPoolExecutor] = None
+        # Pin the process-wide morsel pool when the operator set a count.
+        # The pool is shared library infrastructure (not owned by this
+        # manager): request threads block on morsel futures, so it must stay
+        # distinct from the request executor above, and shutdown() leaves it
+        # alone for other library users in the process.
+        if policy.morsel_workers is not None:
+            configure_worker_pool(policy.morsel_workers)
 
     # -- shared infrastructure ----------------------------------------------
 
@@ -325,6 +333,7 @@ class SessionManager:
                 "maxsize": encode_info.maxsize,
                 "grown": encode_info.grown,
             },
+            "parallel": worker_pool_info(),
         }
 
     def shutdown(self) -> None:
