@@ -49,6 +49,7 @@ class Planner:
         supports_compiled_algebra: bool = False,
         supports_vectorized: bool = False,
         supports_parallel: bool = False,
+        finite_carrier: bool = False,
         plan_cache: Optional[PlanCache] = None,
     ):
         self._domain = domain
@@ -58,6 +59,7 @@ class Planner:
         self._compilable = supports_compiled_algebra
         self._vectorizable = supports_vectorized
         self._parallelizable = supports_parallel
+        self._finite_carrier = finite_carrier
         self._plan_cache = plan_cache
 
     @property
@@ -89,12 +91,15 @@ class Planner:
         if (
             strategy in ("auto", "guarded")
             and self._safety is not None
-            and self._finite_is_di
+            and (self._finite_is_di or self._finite_carrier)
         ):
             # Section 2: over this domain every finite query is
             # domain-independent, so once the guard certifies finiteness,
             # active-domain evaluation is exact — and far cheaper than the
-            # Section 1.1 enumeration.  When the domain additionally supports
+            # Section 1.1 enumeration.  The same ladder is exact for domains
+            # whose *carrier* is finite: the active domain is extended with
+            # the whole carrier, so evaluation ranges over every element the
+            # semantics ranges over.  When the domain additionally supports
             # the compiled relational-algebra backend, prefer it: same
             # active-domain answer, computed set-at-a-time — when its
             # carriers also encode to int64 columns, prefer the vectorized
@@ -110,14 +115,25 @@ class Planner:
                 VectorizedAlgebraPlan,
             )
 
+            extras = tuple(extra_elements)
+            if self._finite_carrier:
+                extras += tuple(self._domain.carrier_elements())
+                basis = (
+                    f"the carrier of {self._domain.name!r} is finite, so "
+                    "evaluation over the whole carrier is exact"
+                )
+            else:
+                basis = (
+                    f"over {self._domain.name!r} every finite query is "
+                    "domain-independent"
+                )
             if self._compilable and self._vectorizable and self._parallelizable:
                 inner: Plan = ParallelAlgebraPlan(
                     domain=self._domain,
                     budget=budget if budget is not None else Budget(),
-                    extra_elements=tuple(extra_elements),
+                    extra_elements=extras,
                     cache=self._plan_cache,
-                    reason=f"over {self._domain.name!r} every finite query is "
-                    "domain-independent and carriers encode to int64 columns, "
+                    reason=f"{basis} and carriers encode to int64 columns, "
                     "so guard-certified queries are answered by the vectorized "
                     "columnar executor, morsel-parallel on large states "
                     "(exact, set semantics)",
@@ -126,10 +142,9 @@ class Planner:
                 inner = VectorizedAlgebraPlan(
                     domain=self._domain,
                     budget=budget if budget is not None else Budget(),
-                    extra_elements=tuple(extra_elements),
+                    extra_elements=extras,
                     cache=self._plan_cache,
-                    reason=f"over {self._domain.name!r} every finite query is "
-                    "domain-independent and carriers encode to int64 columns, "
+                    reason=f"{basis} and carriers encode to int64 columns, "
                     "so guard-certified queries are answered by the vectorized "
                     "NumPy columnar executor (exact, set semantics)",
                 )
@@ -137,10 +152,9 @@ class Planner:
                 inner = CompiledAlgebraPlan(
                     domain=self._domain,
                     budget=budget if budget is not None else Budget(),
-                    extra_elements=tuple(extra_elements),
+                    extra_elements=extras,
                     cache=self._plan_cache,
-                    reason=f"over {self._domain.name!r} every finite query is "
-                    "domain-independent, so guard-certified queries are "
+                    reason=f"{basis}, so guard-certified queries are "
                     "answered by the compiled relational-algebra backend "
                     "(set-at-a-time, exact)",
                 )
@@ -148,9 +162,8 @@ class Planner:
                 inner = ActiveDomainPlan(
                     domain=self._domain,
                     budget=budget if budget is not None else Budget(),
-                    extra_elements=tuple(extra_elements),
-                    reason=f"over {self._domain.name!r} every finite query is "
-                    "domain-independent, so active-domain evaluation is exact for "
+                    extra_elements=extras,
+                    reason=f"{basis}, so active-domain evaluation is exact for "
                     "guard-certified finite queries",
                 )
             return GuardedPlan(

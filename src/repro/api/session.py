@@ -182,6 +182,9 @@ class Session:
             supports_parallel=(
                 entry is not None and entry.supports_parallel
             ),
+            finite_carrier=(
+                entry is not None and entry.finite_carrier
+            ),
             plan_cache=self._plan_cache,
         )
 

@@ -1,0 +1,23 @@
+"""Conformance: one harness that validates any registered domain pack.
+
+``python -m repro.conformance [pack ...]`` runs the whole suite from the
+command line; :func:`run_conformance` / :func:`run_pack_conformance` are the
+programmatic entry points (the registry-parametrized tests call them per
+pack).
+"""
+
+from .harness import (
+    CheckResult,
+    ConformanceReport,
+    PackReport,
+    run_conformance,
+    run_pack_conformance,
+)
+
+__all__ = [
+    "CheckResult",
+    "PackReport",
+    "ConformanceReport",
+    "run_pack_conformance",
+    "run_conformance",
+]

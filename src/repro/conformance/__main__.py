@@ -1,0 +1,42 @@
+"""Command-line conformance runner: ``python -m repro.conformance [pack ...]``.
+
+With no arguments, every registered pack is checked; otherwise only the named
+packs (canonical names or aliases).  Exits non-zero when any check fails, so
+CI can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from ..domains.packs import available_packs
+from .harness import run_conformance
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.conformance",
+        description="Run the domain-pack conformance suite.",
+    )
+    parser.add_argument(
+        "packs",
+        nargs="*",
+        help="packs to check (canonical names or aliases); default: all "
+        f"({', '.join(available_packs())})",
+    )
+    parser.add_argument(
+        "--seeds",
+        default="0,1",
+        help="comma-separated seeds for the randomized state generators",
+    )
+    options = parser.parse_args(argv)
+    seeds = tuple(s for s in options.seeds.split(",") if s)
+    report = run_conformance(options.packs or None, seeds=seeds)
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

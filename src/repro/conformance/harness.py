@@ -1,0 +1,466 @@
+"""The conformance harness: auto-generated validation for any domain pack.
+
+Given a :class:`~repro.domains.packs.DomainPack`, the harness derives and
+runs five families of checks — no per-domain test code required:
+
+1. **decision-procedure** — every declared ground-truth sentence decides to
+   its declared truth value.
+2. **substrate-equivalence** — on the canonical state and on randomized
+   states (including the empty and one-row edge states), every claimed
+   execution substrate (compiled set algebra, vectorized columnar,
+   morsel-parallel) returns exactly the tree walker's active-domain answer,
+   and each claimed substrate actually engages (produces its own method
+   string, not just a fallback's) at least once.
+3. **guard-soundness** — for packs that declare a relative-safety guard, the
+   guarded session's verdict on the canonical state matches each query's
+   declared finiteness; guard-rejected queries never come back as silent
+   finite answers; and where the pack claims finite ⇒ domain-independent,
+   answers do not change under fresh extra elements.
+4. **edge-corpora** — queries run without error on empty and one-row states,
+   duplicated rows do not change any answer, and the corpus exercises
+   negation or a universal quantifier somewhere.
+5. **bench-smoke** — all queries on a ``bench_size``-row random state finish
+   inside the pack's wall-clock budget, with compiled executions staying
+   under the pack's peak-intermediate-rows ceiling (the blowup guard).
+
+The vectorized and parallel substrates are checked only when NumPy is
+available; their *claims* checks are skipped (not failed) without it.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..domains.base import Domain
+from ..domains.packs import DomainPack, available_packs, get_pack
+from ..engine.budget import Budget
+from ..engine.plans import (
+    CompiledAlgebraPlan,
+    ParallelAlgebraPlan,
+    VectorizedAlgebraPlan,
+)
+from ..logic.formulas import ForAll, Not, walk_formulas
+from ..relational.calculus import evaluate_query_active_domain
+from ..relational.columnar import HAVE_NUMPY
+from ..relational.compile import CompilationError, compile_query
+from ..relational.exec import ExecutionStats, run_plan
+from ..relational.state import DatabaseState, Element, Relation
+
+__all__ = [
+    "CheckResult",
+    "PackReport",
+    "ConformanceReport",
+    "run_pack_conformance",
+    "run_conformance",
+]
+
+#: randomized-state sizes always exercised per seed (0 and 1 are the
+#: mandatory edge states; the rest probe ordinary small states)
+STATE_SIZES = (0, 1, 3, 6)
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """The outcome of one conformance check for one pack."""
+
+    check: str
+    ok: bool
+    details: str = ""
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        text = f"{self.check}: {status}"
+        if self.details:
+            text += f" — {self.details}"
+        return text
+
+
+@dataclass(frozen=True)
+class PackReport:
+    """All check results for one pack."""
+
+    pack: str
+    checks: Tuple[CheckResult, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    @property
+    def failures(self) -> Tuple[CheckResult, ...]:
+        return tuple(check for check in self.checks if not check.ok)
+
+    def describe(self) -> str:
+        lines = [f"[{'ok' if self.ok else 'FAIL'}] {self.pack}"]
+        lines += [f"  {check.describe()}" for check in self.checks]
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ConformanceReport:
+    """Reports for every pack a run covered."""
+
+    reports: Tuple[PackReport, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(report.ok for report in self.reports)
+
+    def describe(self) -> str:
+        failed = sum(1 for report in self.reports if not report.ok)
+        lines = [report.describe() for report in self.reports]
+        lines.append(
+            f"{len(self.reports)} pack(s): "
+            + ("all conformant" if not failed else f"{failed} FAILED")
+        )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers
+# ---------------------------------------------------------------------------
+
+
+def _carrier_extras(pack: DomainPack, domain: Domain) -> Tuple[Element, ...]:
+    """The extra elements evaluation ranges over (the carrier, if finite)."""
+    return tuple(domain.carrier_elements()) if pack.finite_carrier else ()
+
+
+def _reference_rows(
+    query, state: DatabaseState, domain: Domain, extras: Sequence[Element]
+) -> frozenset:
+    """The tree walker's active-domain answer — the equivalence oracle."""
+    relation = evaluate_query_active_domain(
+        query, state, interpretation=domain, extra_elements=extras
+    )
+    return frozenset(relation.rows)
+
+
+def _substrate_plans(pack: DomainPack, domain: Domain, extras):
+    """The (name, plan) pairs for every substrate the pack claims."""
+    plans = []
+    if pack.supports_compiled_algebra:
+        plans.append((
+            "compiled-algebra",
+            CompiledAlgebraPlan(domain=domain, budget=Budget(), extra_elements=extras),
+        ))
+    if pack.supports_vectorized and HAVE_NUMPY:
+        plans.append((
+            "vectorized",
+            VectorizedAlgebraPlan(domain=domain, budget=Budget(), extra_elements=extras),
+        ))
+    if pack.supports_parallel and HAVE_NUMPY:
+        # threshold 1 forces the worker pool even on tiny states, so the
+        # parallel path itself (not its small-state shortcut) is what runs
+        plans.append((
+            "parallel",
+            ParallelAlgebraPlan(
+                domain=domain,
+                budget=Budget(),
+                extra_elements=extras,
+                parallel_threshold=1,
+                morsel_rows=3,
+            ),
+        ))
+    return plans
+
+
+def _conformance_states(
+    corpus, seeds: Sequence[str]
+) -> List[Tuple[str, DatabaseState]]:
+    """The canonical state plus deterministic randomized states per seed."""
+    states: List[Tuple[str, DatabaseState]] = [("canonical", corpus.canonical_state)]
+    if corpus.state_factory is None:
+        return states
+    for seed in seeds:
+        for size in STATE_SIZES:
+            rng = random.Random(f"conformance/{corpus.name}/{seed}/{size}")
+            states.append((f"seed={seed}/rows={size}", corpus.state_factory(rng, size)))
+    return states
+
+
+# ---------------------------------------------------------------------------
+# The checks
+# ---------------------------------------------------------------------------
+
+
+def _check_decision_procedure(pack: DomainPack, domain: Domain) -> CheckResult:
+    sentences = pack.sentences()
+    if not sentences:
+        return CheckResult(
+            "decision-procedure", True, "skipped: no ground-truth sentences declared"
+        )
+    problems = []
+    for ps in sentences:
+        try:
+            got = domain.decide(ps.sentence)
+        except Exception as error:  # a crash is a conformance failure, not ours
+            problems.append(f"{ps.name}: raised {type(error).__name__}: {error}")
+            continue
+        if got != ps.truth:
+            problems.append(f"{ps.name}: decided {got}, declared {ps.truth}")
+    if problems:
+        return CheckResult("decision-procedure", False, "; ".join(problems))
+    return CheckResult(
+        "decision-procedure", True, f"{len(sentences)} sentence(s) decided correctly"
+    )
+
+
+def _check_substrate_equivalence(
+    pack: DomainPack, domain: Domain, seeds: Sequence[str]
+) -> CheckResult:
+    extras = _carrier_extras(pack, domain)
+    plans = _substrate_plans(pack, domain, extras)
+    if not plans:
+        return CheckResult(
+            "substrate-equivalence", True, "skipped: no algebra substrates claimed"
+        )
+    problems: List[str] = []
+    engaged = {name: False for name, _ in plans}
+    executions = 0
+    for corpus in pack.corpora():
+        for state_name, state in _conformance_states(corpus, seeds):
+            for pq in corpus.queries:
+                expected = _reference_rows(pq.query, state, domain, extras)
+                for substrate, plan in plans:
+                    answer = plan.execute(pq.query, state)
+                    executions += 1
+                    if answer.method == substrate:
+                        engaged[substrate] = True
+                    got = frozenset(answer.relation.rows)
+                    if got != expected:
+                        problems.append(
+                            f"{corpus.name}/{pq.name} on {state_name} via "
+                            f"{substrate}: {len(got)} row(s) != tree walker's "
+                            f"{len(expected)}"
+                        )
+    # Every claimed substrate must have actually run its own executor at
+    # least once — a flag that only ever falls back is a false claim.
+    for substrate, hit in engaged.items():
+        if not hit:
+            problems.append(
+                f"claimed substrate {substrate!r} never engaged "
+                "(every execution fell back down the ladder)"
+            )
+    if problems:
+        return CheckResult("substrate-equivalence", False, "; ".join(problems[:8]))
+    names = ", ".join(name for name, _ in plans)
+    return CheckResult(
+        "substrate-equivalence",
+        True,
+        f"{executions} execution(s) across {names} matched the tree walker",
+    )
+
+
+def _check_guard_soundness(
+    pack: DomainPack, domain: Domain
+) -> CheckResult:
+    if pack.safety_factory is None:
+        return CheckResult(
+            "guard-soundness",
+            True,
+            "skipped: no relative-safety guard declared "
+            "(cf. Theorem 3.3 — one need not exist)",
+        )
+    from ..api.session import Session
+
+    problems: List[str] = []
+    asserted = 0
+    for corpus in pack.corpora():
+        session = Session(pack.name, corpus.schema)
+        for pq in corpus.queries:
+            if pq.finite is None:
+                continue
+            asserted += 1
+            answer = session.query(pq.query, state=corpus.canonical_state)
+            if answer.is_finite != pq.finite:
+                problems.append(
+                    f"{corpus.name}/{pq.name}: guard says finite={answer.is_finite}, "
+                    f"pack declares {pq.finite}"
+                )
+                continue
+            if not pq.finite:
+                # A rejected query must be visibly rejected, never a silent
+                # finite row set.
+                if answer.rows() and answer.is_finite is not False:
+                    problems.append(
+                        f"{corpus.name}/{pq.name}: infinite query answered silently"
+                    )
+                if not answer.explain():
+                    problems.append(
+                        f"{corpus.name}/{pq.name}: rejection carries no explanation"
+                    )
+            elif pack.finite_implies_domain_independent:
+                # Where finiteness implies domain independence, enlarging the
+                # evaluation universe must not change the answer.
+                fresh = _fresh_elements(domain, corpus.canonical_state, count=3)
+                enlarged = session.query(
+                    pq.query, state=corpus.canonical_state, extra_elements=fresh
+                )
+                if frozenset(enlarged.rows()) != frozenset(answer.rows()):
+                    problems.append(
+                        f"{corpus.name}/{pq.name}: answer changed under fresh "
+                        "extra elements despite the domain-independence claim"
+                    )
+    if problems:
+        return CheckResult("guard-soundness", False, "; ".join(problems[:8]))
+    return CheckResult(
+        "guard-soundness", True, f"{asserted} declared verdict(s) confirmed"
+    )
+
+
+def _fresh_elements(
+    domain: Domain, state: DatabaseState, count: int
+) -> Tuple[Element, ...]:
+    """``count`` carrier elements not stored in ``state``."""
+    stored = state.elements()
+    fresh: List[Element] = []
+    for element in domain.enumerate_elements():
+        if element not in stored:
+            fresh.append(element)
+            if len(fresh) == count:
+                break
+    return tuple(fresh)
+
+
+def _check_edge_corpora(
+    pack: DomainPack, domain: Domain, seeds: Sequence[str]
+) -> CheckResult:
+    extras = _carrier_extras(pack, domain)
+    problems: List[str] = []
+    saw_factory = False
+    saw_shape = False
+    for corpus in pack.corpora():
+        for pq in corpus.queries:
+            for sub in walk_formulas(pq.query):
+                if isinstance(sub, (Not, ForAll)):
+                    saw_shape = True
+        # Duplicated stored rows must be invisible under set semantics.
+        doubled = DatabaseState(
+            corpus.schema,
+            {
+                name: Relation(rel.arity, tuple(rel.rows) + tuple(rel.rows))
+                for name, rel in corpus.canonical_state.relations.items()
+            },
+        )
+        for pq in corpus.queries:
+            base = _reference_rows(pq.query, corpus.canonical_state, domain, extras)
+            dup = _reference_rows(pq.query, doubled, domain, extras)
+            if base != dup:
+                problems.append(
+                    f"{corpus.name}/{pq.name}: duplicated rows changed the answer"
+                )
+        if corpus.state_factory is None:
+            continue
+        saw_factory = True
+        for size in (0, 1):
+            rng = random.Random(f"edge/{corpus.name}/{seeds[0]}/{size}")
+            state = corpus.state_factory(rng, size)
+            if state.total_rows() > size:
+                problems.append(
+                    f"{corpus.name}: state_factory(rng, {size}) stored "
+                    f"{state.total_rows()} row(s)"
+                )
+            for pq in corpus.queries:
+                try:
+                    _reference_rows(pq.query, state, domain, extras)
+                except Exception as error:
+                    problems.append(
+                        f"{corpus.name}/{pq.name} on {size}-row state: raised "
+                        f"{type(error).__name__}: {error}"
+                    )
+    if not saw_shape:
+        problems.append("no corpus query exercises negation or a universal")
+    if not pack.corpora():
+        problems.append("pack declares no corpora")
+    if problems:
+        return CheckResult("edge-corpora", False, "; ".join(problems[:8]))
+    detail = "empty/one-row/duplicate states covered, negation/∀ shapes present"
+    if not saw_factory:
+        detail += " (no state factory: randomized edge states skipped)"
+    return CheckResult("edge-corpora", True, detail)
+
+
+def _check_bench_smoke(pack: DomainPack, domain: Domain) -> CheckResult:
+    corpora = [c for c in pack.corpora() if c.state_factory is not None]
+    if not corpora:
+        return CheckResult("bench-smoke", True, "skipped: no state factory declared")
+    extras = _carrier_extras(pack, domain)
+    problems: List[str] = []
+    peak = 0
+    started = time.perf_counter()
+    for corpus in corpora:
+        rng = random.Random(f"bench/{pack.name}/{corpus.name}")
+        state = corpus.state_factory(rng, pack.bench_size)
+        for pq in corpus.queries:
+            if pack.supports_compiled_algebra:
+                try:
+                    compiled = compile_query(pq.query, state.schema, domain)
+                except CompilationError:
+                    compiled = None
+                if compiled is not None:
+                    stats = ExecutionStats()
+                    run_plan(
+                        compiled.plan,
+                        state,
+                        compiled.universe(state, extras),
+                        domain,
+                        stats,
+                    )
+                    peak = max(peak, stats.peak_rows)
+                    if stats.peak_rows > pack.bench_row_limit:
+                        problems.append(
+                            f"{corpus.name}/{pq.name}: peak intermediate "
+                            f"{stats.peak_rows} row(s) exceeds the "
+                            f"{pack.bench_row_limit}-row blowup guard"
+                        )
+                    continue
+            _reference_rows(pq.query, state, domain, extras)
+    elapsed = time.perf_counter() - started
+    if elapsed > pack.bench_seconds:
+        problems.append(
+            f"bench corpus took {elapsed:.1f}s, over the "
+            f"{pack.bench_seconds:.0f}s budget"
+        )
+    if problems:
+        return CheckResult("bench-smoke", False, "; ".join(problems))
+    return CheckResult(
+        "bench-smoke",
+        True,
+        f"{pack.bench_size}-row state answered in {elapsed:.2f}s "
+        f"(peak intermediate {peak} row(s))",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def run_pack_conformance(
+    pack: Union[str, DomainPack], *, seeds: Sequence[str] = ("0", "1")
+) -> PackReport:
+    """Run the full conformance suite against one pack."""
+    if isinstance(pack, str):
+        pack = get_pack(pack)
+    domain = pack.factory()
+    checks = (
+        _check_decision_procedure(pack, domain),
+        _check_substrate_equivalence(pack, domain, seeds),
+        _check_guard_soundness(pack, domain),
+        _check_edge_corpora(pack, domain, seeds),
+        _check_bench_smoke(pack, domain),
+    )
+    return PackReport(pack=pack.name, checks=checks)
+
+
+def run_conformance(
+    names: Optional[Iterable[str]] = None, *, seeds: Sequence[str] = ("0", "1")
+) -> ConformanceReport:
+    """Run the conformance suite against ``names`` (default: every pack)."""
+    targets = tuple(names) if names is not None else available_packs()
+    reports = tuple(run_pack_conformance(name, seeds=seeds) for name in targets)
+    return ConformanceReport(reports=reports)

@@ -1,8 +1,23 @@
 """Domains: carriers, signatures, recursive evaluation, decision procedures."""
 
 from .base import Domain, DomainError, TheoryUndecidableError
+from .cyclic import CyclicSuccessorDomain
+from .dense_order import DenseOrderDomain
+from .difference import IntegerDifferenceDomain
 from .equality import EqualityDomain
+from .lex_strings import ShortlexStringDomain
 from .nat_order import NaturalOrderDomain
+from .packs import (
+    DomainPack,
+    PackCorpus,
+    PackQuery,
+    PackSentence,
+    available_packs,
+    get_pack,
+    register_pack,
+    temporary_pack,
+    unregister_pack,
+)
 from .presburger import (
     LinTerm,
     PresburgerDomain,
@@ -31,6 +46,8 @@ from .registry import (
     get_entry,
     register_domain,
     resolve_domain_name,
+    temporary_domain,
+    unregister_domain,
 )
 from .signature import Signature
 from .successor import (
@@ -45,7 +62,13 @@ __all__ = [
     "Signature", "Domain", "DomainError", "TheoryUndecidableError",
     "DomainEntry", "UnknownDomainError", "register_domain", "get_domain",
     "get_entry", "resolve_domain_name", "available_domains", "domain_aliases",
+    "unregister_domain", "temporary_domain",
+    "DomainPack", "PackCorpus", "PackQuery", "PackSentence",
+    "register_pack", "unregister_pack", "temporary_pack", "get_pack",
+    "available_packs",
     "EqualityDomain",
+    "DenseOrderDomain", "IntegerDifferenceDomain",
+    "CyclicSuccessorDomain", "ShortlexStringDomain",
     "PresburgerDomain", "NaturalOrderDomain", "LinTerm",
     "linearize_term", "eliminate_presburger_quantifiers",
     "SuccessorDomain", "eliminate_successor_quantifiers",

@@ -22,7 +22,7 @@ so the relational-calculus evaluator works over any domain directly.
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, Iterator, Optional, Sequence
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
 
 from ..logic.analysis import free_variables
 from ..logic.formulas import Formula
@@ -78,6 +78,15 @@ class Domain(Interpretation):
     def sample_elements(self, count: int) -> list:
         """The first ``count`` elements of the enumeration, as a list."""
         return list(itertools.islice(self.enumerate_elements(), count))
+
+    def carrier_elements(self) -> Tuple[Element, ...]:
+        """The whole carrier, for domains whose carrier is *finite*.
+
+        Infinite domains raise :class:`DomainError`.  Finite-carrier domains
+        (registered with ``finite_carrier=True``) override this; the planner
+        then evaluates queries over the full carrier, which is exact.
+        """
+        raise DomainError(f"domain {self.name!r} has an infinite carrier")
 
     # -- decidability -------------------------------------------------------
 

@@ -14,8 +14,9 @@ third-party domains can join the same namespace via :func:`register_domain`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+import contextlib
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from .base import Domain
 
@@ -23,6 +24,8 @@ __all__ = [
     "DomainEntry",
     "UnknownDomainError",
     "register_domain",
+    "unregister_domain",
+    "temporary_domain",
     "get_domain",
     "get_entry",
     "resolve_domain_name",
@@ -84,6 +87,13 @@ class DomainEntry:
     #: active domain, which is what keeps "strictly between two members"-like
     #: queries linear instead of exponential in arity.
     ordered_carrier: bool = False
+    #: True when the carrier is *finite* (e.g. the cyclic successor structure
+    #: Z/n).  Every query over a finite carrier is trivially finite and can be
+    #: answered exactly by evaluating over the whole carrier, so the planner
+    #: extends the active domain with :meth:`Domain.carrier_elements` and uses
+    #: the guarded active-domain ladder even though finiteness of the *answer*
+    #: does not imply domain independence.
+    finite_carrier: bool = False
 
 
 _REGISTRY: Dict[str, DomainEntry] = {}
@@ -95,18 +105,52 @@ def _normalise(name: str) -> str:
 
 
 def register_domain(entry: DomainEntry) -> DomainEntry:
-    """Register a domain under its canonical name and aliases."""
+    """Register a domain under its canonical name and aliases.
+
+    Registration is atomic: every alias is validated *before* anything is
+    written, so a collision raised here leaves the registry exactly as it
+    was (no dangling ``_ALIASES`` entries pointing at an unregistered name).
+    """
     canonical = _normalise(entry.name)
     if canonical in _REGISTRY:
         raise ValueError(f"domain {entry.name!r} is already registered")
-    for alias in (canonical,) + tuple(_normalise(a) for a in entry.aliases):
+    aliases = (canonical,) + tuple(_normalise(a) for a in entry.aliases)
+    for alias in aliases:
         if alias in _ALIASES and _ALIASES[alias] != canonical:
             raise ValueError(
                 f"alias {alias!r} already points at domain {_ALIASES[alias]!r}"
             )
+    for alias in aliases:
         _ALIASES[alias] = canonical
     _REGISTRY[canonical] = entry
     return entry
+
+
+def unregister_domain(name: str) -> DomainEntry:
+    """Remove a domain (by canonical name or alias) and all its aliases."""
+    canonical = resolve_domain_name(name)
+    entry = _REGISTRY.pop(canonical)
+    for alias, target in list(_ALIASES.items()):
+        if target == canonical:
+            del _ALIASES[alias]
+    return entry
+
+
+@contextlib.contextmanager
+def temporary_domain(entry: DomainEntry) -> Iterator[DomainEntry]:
+    """Register ``entry`` for the duration of a ``with`` block.
+
+    The conformance harness and the test-suite use this to exercise packs
+    without leaking global registry state; the domain is unregistered on
+    exit even when the block raises.
+    """
+    register_domain(entry)
+    try:
+        yield entry
+    finally:
+        canonical = _normalise(entry.name)
+        if _REGISTRY.get(canonical) is entry:
+            unregister_domain(canonical)
 
 
 def resolve_domain_name(name: str) -> str:
@@ -193,82 +237,12 @@ def _extended_active_domain_syntax(schema):
 
 
 def _register_builtins() -> None:
-    from .equality import EqualityDomain
-    from .nat_order import NaturalOrderDomain
-    from .presburger import PresburgerDomain
-    from .reach_traces import ReachTracesDomain
-    from .successor import SuccessorDomain
-    from .traces_domain import TraceDomain
+    # The built-in domains are declared as DomainPacks (repro.domains.packs)
+    # and registered from their declarations, so every built-in automatically
+    # carries the example corpora the conformance harness runs.
+    from .packs import register_builtin_packs
 
-    register_domain(DomainEntry(
-        name="equality",
-        factory=EqualityDomain,
-        aliases=("eq", "pure-equality"),
-        summary="a countably infinite set with equality only (Section 2)",
-        safety_factory=_equality_safety,
-        syntax_factory=_active_domain_syntax,
-        finite_implies_domain_independent=True,
-        supports_compiled_algebra=True,
-        supports_vectorized=True,
-        supports_parallel=True,
-    ))
-    register_domain(DomainEntry(
-        name="naturals_with_order",
-        factory=NaturalOrderDomain,
-        aliases=("nat<", "nat_order", "order"),
-        summary="the ordered natural numbers (N, <) (Section 2.1)",
-        safety_factory=_ordered_safety,
-        syntax_factory=_finitization_syntax,
-        supports_compiled_algebra=True,
-        supports_vectorized=True,
-        supports_parallel=True,
-        ordered_carrier=True,
-    ))
-    register_domain(DomainEntry(
-        name="presburger_naturals",
-        factory=PresburgerDomain,
-        aliases=("presburger", "presburger_arithmetic"),
-        summary="Presburger arithmetic over N (a decidable extension of (N, <))",
-        safety_factory=_ordered_safety,
-        syntax_factory=_finitization_syntax,
-        supports_compiled_algebra=True,
-        supports_vectorized=True,
-        supports_parallel=True,
-        ordered_carrier=True,
-    ))
-    register_domain(DomainEntry(
-        name="presburger_integers",
-        factory=lambda: PresburgerDomain(carrier="integers"),
-        aliases=("integers",),
-        summary="Presburger arithmetic over Z",
-        syntax_factory=_finitization_syntax_integers,
-        supports_compiled_algebra=True,
-        supports_vectorized=True,
-        supports_parallel=True,
-        ordered_carrier=True,
-    ))
-    register_domain(DomainEntry(
-        name="naturals_with_successor",
-        factory=SuccessorDomain,
-        aliases=("succ", "successor", "nat'"),
-        summary="the natural numbers with successor (N, ') (Section 2.2)",
-        safety_factory=_successor_safety,
-        syntax_factory=_extended_active_domain_syntax,
-        supports_vectorized=True,
-    ))
-    register_domain(DomainEntry(
-        name="traces",
-        factory=TraceDomain,
-        aliases=("trace", "t"),
-        summary="the trace domain T (Section 3): decidable theory, but no "
-        "effective syntax (Thm 3.1) and undecidable relative safety (Thm 3.3)",
-    ))
-    register_domain(DomainEntry(
-        name="reach_traces",
-        factory=ReachTracesDomain,
-        aliases=("reach",),
-        summary="the trace domain with the extended Reach signature (Appendix A)",
-    ))
+    register_builtin_packs()
 
 
 _register_builtins()

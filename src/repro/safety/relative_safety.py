@@ -29,9 +29,22 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..domains.base import Domain
 from ..domains.presburger import PresburgerDomain
 from ..domains.successor import SuccessorDomain, eliminate_successor_quantifiers, parse_successor_term
-from ..logic.analysis import free_variables, quantifier_depth
-from ..logic.builders import conj, forall_many, iff
-from ..logic.formulas import And, Atom, Bottom, Equals, Formula, Not, Or, Top
+from ..logic.analysis import all_variables, free_variables, quantifier_depth
+from ..logic.builders import conj, exists_many, forall_many, iff
+from ..logic.formulas import (
+    And,
+    Atom,
+    Bottom,
+    Equals,
+    Exists,
+    ForAll,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    Top,
+)
+from ..logic.substitution import fresh_variables
 from ..logic.terms import Const, Var
 from ..relational.active_domain import active_domain
 from ..relational.calculus import evaluate_query
@@ -46,6 +59,8 @@ __all__ = [
     "RelativeSafetyDecider",
     "EqualityRelativeSafety",
     "OrderedRelativeSafety",
+    "DenseOrderRelativeSafety",
+    "FiniteCarrierSafety",
     "SuccessorRelativeSafety",
     "TraceRelativeSafety",
     "RelativeSafetyUndecidable",
@@ -143,10 +158,22 @@ class OrderedRelativeSafety(RelativeSafetyDecider):
 
     name = "finitization-equivalence"
 
-    def __init__(self, domain: Optional[Domain] = None, memo_size: int = 64):
+    def __init__(
+        self,
+        domain: Optional[Domain] = None,
+        memo_size: int = 64,
+        integers: Optional[bool] = None,
+    ):
         self._domain = domain or PresburgerDomain()
         if not self._domain.has_decidable_theory:
             raise ValueError("Theorem 2.5 requires a decidable extension of (N, <)")
+        # Over carriers unbounded in both directions (the integers) the
+        # finitization must bound answers from below as well as above —
+        # ``x < 0`` is finite over N but infinite over Z.  Auto-detect from
+        # Presburger-style domains; other ordered carriers pass it explicitly.
+        if integers is None:
+            integers = getattr(self._domain, "naturals", True) is False
+        self._integers = integers
         # Verdicts memoised per (formula, state fingerprint): expanding the
         # database atoms builds a disjunction per stored row and the decision
         # procedure then quantifier-eliminates it, so a guarded serving
@@ -179,7 +206,8 @@ class OrderedRelativeSafety(RelativeSafetyDecider):
         # stored relation is empty), but they still index the answer.
         variables = sorted(free_variables(query), key=lambda v: v.name)
         equivalence = forall_many(
-            [v.name for v in variables], iff(pure, finitize(pure, free_order=variables))
+            [v.name for v in variables],
+            iff(pure, finitize(pure, free_order=variables, integers=self._integers)),
         )
         finite = self._domain.decide(equivalence)
         if finite:
@@ -191,6 +219,119 @@ class OrderedRelativeSafety(RelativeSafetyDecider):
             method=self.name,
             details="the query differs from its finitization in this state, "
             "so its answer is unbounded",
+        )
+
+
+class DenseOrderRelativeSafety(RelativeSafetyDecider):
+    """Relative safety over dense linear orders such as ``(Q, <)``.
+
+    Density breaks the finitization argument of Theorem 2.5: a bounded
+    definable set can still be infinite (any open interval is).  The decider
+    uses the structure of definable sets instead.  A set of tuples is finite
+    iff each of its one-dimensional projections is, and by quantifier
+    elimination a ``(Q, <)``-definable subset of the line is a finite union
+    of points and intervals — finite iff it is **bounded** and contains **no
+    nonempty open interval**.  Both conditions are pure domain sentences that
+    the domain's decision procedure settles.
+    """
+
+    name = "projection-finiteness"
+
+    def __init__(self, domain: Optional[Domain] = None, memo_size: int = 64):
+        if domain is None:
+            from ..domains.dense_order import DenseOrderDomain
+
+            domain = DenseOrderDomain()
+        if not domain.has_decidable_theory:
+            raise ValueError("projection finiteness needs a decidable dense order")
+        self._domain = domain
+        # Memoised like OrderedRelativeSafety: keys are immutable value
+        # objects, so entries never go stale.
+        from ..engine.plan_cache import PlanCache
+
+        self._verdicts = PlanCache(maxsize=memo_size)
+
+    def memo_info(self):
+        """Hit/miss/eviction counters of the per-(formula, state) memo."""
+        return self._verdicts.info()
+
+    def decide(self, query: Formula, state: DatabaseState) -> SafetyVerdict:
+        key = (query, state)
+        cached = self._verdicts.get(key)
+        if cached is not None:
+            return cached
+        verdict = self._decide_uncached(query, state)
+        self._verdicts.put(key, verdict)
+        return verdict
+
+    def _decide_uncached(self, query: Formula, state: DatabaseState) -> SafetyVerdict:
+        pure = expand_database_atoms(query, state)
+        variables = sorted(free_variables(query), key=lambda v: v.name)
+        if not variables:
+            return SafetyVerdict.finite(
+                method=self.name, details="a sentence has at most one answer row"
+            )
+        used = set(all_variables(pure)) | set(variables)
+        for variable in variables:
+            others = [v.name for v in variables if v != variable]
+            projection = exists_many(others, pure)
+            if not self._domain.decide(self._bounded(projection, variable, used)):
+                return SafetyVerdict.infinite(
+                    method=self.name,
+                    details=f"the projection onto {variable.name!r} is unbounded",
+                )
+            if self._domain.decide(self._has_interval(projection, variable, used)):
+                return SafetyVerdict.infinite(
+                    method=self.name,
+                    details=f"the projection onto {variable.name!r} contains an "
+                    "open interval, which is infinite by density",
+                )
+        return SafetyVerdict.finite(
+            method=self.name,
+            details="every one-dimensional projection is bounded and contains "
+            "no open interval",
+        )
+
+    @staticmethod
+    def _bounded(projection: Formula, variable: Var, used) -> Formula:
+        """``∃l ∃u ∀x (proj(x) → l < x ∧ x < u)``."""
+        low, high = fresh_variables(2, used, stem="b")
+        body = Implies(
+            projection, conj(Atom("<", (low, variable)), Atom("<", (variable, high)))
+        )
+        return Exists(low.name, Exists(high.name, ForAll(variable.name, body)))
+
+    @staticmethod
+    def _has_interval(projection: Formula, variable: Var, used) -> Formula:
+        """``∃a ∃b (a < b ∧ ∀x (a < x ∧ x < b → proj(x)))``."""
+        left, right = fresh_variables(2, used, stem="i")
+        inside = conj(Atom("<", (left, variable)), Atom("<", (variable, right)))
+        body = conj(
+            Atom("<", (left, right)),
+            ForAll(variable.name, Implies(inside, projection)),
+        )
+        return Exists(left.name, Exists(right.name, body))
+
+
+class FiniteCarrierSafety(RelativeSafetyDecider):
+    """The trivial safety decider for domains whose carrier is finite.
+
+    Over a finite carrier every query answer is a subset of a finite product,
+    hence finite — including ``¬S(x)`` and ``x = x``, the canonical infinite
+    queries everywhere else.
+    """
+
+    name = "finite-carrier"
+
+    def __init__(self, domain: Domain):
+        self._domain = domain
+
+    def decide(self, query: Formula, state: DatabaseState) -> SafetyVerdict:
+        size = len(self._domain.carrier_elements())
+        return SafetyVerdict.finite(
+            method=self.name,
+            details=f"the carrier of {self._domain.name!r} has only {size} "
+            "elements, so every answer is finite",
         )
 
 

@@ -131,6 +131,10 @@ DOMAIN_CASES = {
     "naturals_with_successor": ("x = succ(0)", None, None, ((1,),)),
     "traces": ("x = '1'", None, None, (("1",),)),
     "reach_traces": ("x = '1'", None, None, (("1",),)),
+    "rationals_with_order": ("S(x)", _UNARY_S, {"S": [(1,), (2,)]}, ((1,), (2,))),
+    "integer_differences": ("0 <= x & x < 2", None, None, ((0,), (1,))),
+    "cyclic_successor": ("x = succ(0)", None, None, ((1,),)),
+    "shortlex_strings": ("x < 'a'", None, None, (("",),)),
 }
 
 

@@ -1,0 +1,309 @@
+"""Unit tests for the four pack-seeded domains.
+
+* dense linear order (Q, <): Ferrante–Rackoff-style test points, density vs
+  discreteness, the Calkin–Wilf carrier enumeration, and the
+  projection-finiteness safety decider;
+* integer difference constraints: the Bellman–Ford fast path (including the
+  virtual zero node and strict inequalities), its agreement with Cooper, and
+  the fast-path/fallback counters;
+* finite cyclic successor Z/n: modular succ/pred, exact decision by
+  exhaustive carrier checking, ``carrier_elements``, and the always-finite
+  safety decider;
+* shortlex strings: the rank/unrank order isomorphism with (N, <), decision
+  by translation to Presburger, and validation errors.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.domains import (
+    CyclicSuccessorDomain,
+    DenseOrderDomain,
+    DomainError,
+    IntegerDifferenceDomain,
+    ShortlexStringDomain,
+)
+from repro.logic.builders import (
+    apply,
+    atom,
+    conj,
+    disj,
+    eq,
+    exists,
+    forall,
+    implies,
+    neg,
+    var,
+)
+from repro.logic.terms import Const
+from repro.safety.relative_safety import (
+    DenseOrderRelativeSafety,
+    FiniteCarrierSafety,
+    OrderedRelativeSafety,
+)
+
+X, Y, Z = var("x"), var("y"), var("z")
+
+
+# ---------------------------------------------------------------------------
+# Dense linear order (Q, <)
+# ---------------------------------------------------------------------------
+
+
+class TestDenseOrder:
+    domain = DenseOrderDomain()
+
+    def test_axioms_of_dense_orders_without_endpoints(self):
+        between = exists("z", conj(atom("<", X, Z), atom("<", Z, Y)))
+        assert self.domain.decide(
+            forall("x", forall("y", implies(atom("<", X, Y), between)))
+        )
+        assert self.domain.decide(forall("x", exists("y", atom("<", Y, X))))
+        assert self.domain.decide(forall("x", exists("y", atom("<", X, Y))))
+        # Discreteness fails: no element has an immediate successor.
+        assert not self.domain.decide(
+            exists("x", exists("y", conj(atom("<", X, Y), neg(between))))
+        )
+
+    def test_constants_pin_down_open_intervals(self):
+        inside = exists("x", conj(atom("<", Const(0), X), atom("<", X, Const(1))))
+        empty = exists(
+            "x",
+            conj(atom("<", Const(Fraction(1, 2)), X),
+                 atom("<", X, Const(Fraction(1, 2)))),
+        )
+        assert self.domain.decide(inside)
+        assert not self.domain.decide(empty)
+
+    def test_carrier_membership_and_enumeration(self):
+        assert self.domain.contains(Fraction(2, 3))
+        assert self.domain.contains(-7)
+        assert not self.domain.contains(0.5)
+        assert not self.domain.contains(True)
+        sample = list(self.domain.sample_elements(9))
+        assert len(sample) == len(set(sample)) == 9
+        assert all(self.domain.contains(q) for q in sample)
+
+    def test_rejects_non_order_sentences(self):
+        with pytest.raises(DomainError):
+            self.domain.decide(exists("x", atom("divides", X, X)))
+        with pytest.raises(DomainError):
+            self.domain.decide(exists("x", eq(apply("succ", X), X)))
+        with pytest.raises(DomainError):
+            self.domain.decide(atom("<", X, Const(1)))  # free variable
+
+    def test_projection_finiteness_safety(self):
+        from repro.experiments.corpora import numeric_schema
+        from repro.relational.state import DatabaseState
+
+        safety = DenseOrderRelativeSafety(self.domain)
+        state = DatabaseState(numeric_schema(), {"S": [(0,), (1,)]})
+        members = atom("S", X)
+        assert safety.decide(members, state).is_finite
+        # Bounded but dense-in-between: an open interval of answers.
+        between = exists(
+            "y", exists("z", conj(atom("S", Y), atom("S", Z),
+                                  atom("<", Y, X), atom("<", X, Z)))
+        )
+        verdict = safety.decide(between, state)
+        assert not verdict.is_finite
+        assert "interval" in verdict.details
+
+    def test_projection_finiteness_memoises(self):
+        safety = DenseOrderRelativeSafety(self.domain)
+        from repro.experiments.corpora import numeric_schema
+        from repro.relational.state import DatabaseState
+
+        state = DatabaseState(numeric_schema(), {"S": [(3,)]})
+        safety.decide(atom("S", X), state)
+        safety.decide(atom("S", X), state)
+        assert safety.memo_info().hits == 1
+
+
+# ---------------------------------------------------------------------------
+# Integer difference constraints
+# ---------------------------------------------------------------------------
+
+
+class TestIntegerDifferences:
+    def test_fast_path_agrees_with_cooper_on_difference_systems(self):
+        x_minus_y = apply("-", X, Y)
+        y_minus_x = apply("-", Y, X)
+        cases = [
+            (exists("x", exists("y", conj(atom("<=", x_minus_y, 1),
+                                          atom("<=", y_minus_x, -1)))), True),
+            (exists("x", exists("y", conj(atom("<=", x_minus_y, 1),
+                                          atom("<=", y_minus_x, -2)))), False),
+            (exists("x", exists("y", conj(atom("<", x_minus_y, 0),
+                                          atom("<", y_minus_x, 0)))), False),
+            (exists("x", atom("<", X, 0)), True),
+            (exists("x", conj(atom("<=", X, 5), atom("<=", apply("-", Const(0), X), -3)))
+             , True),
+        ]
+        for sentence, truth in cases:
+            fast = IntegerDifferenceDomain()
+            assert fast.decide(sentence) is truth
+            assert fast.fast_path_decisions == 1, sentence
+            assert fast.cooper_decisions == 0
+            # The same sentence through the parent's Cooper procedure.
+            from repro.domains.presburger import PresburgerDomain
+
+            assert PresburgerDomain(carrier="integers").decide(sentence) is truth
+
+    def test_non_difference_sentences_fall_back_to_cooper(self):
+        domain = IntegerDifferenceDomain()
+        parity = forall(
+            "x",
+            exists("y", disj(eq(X, apply("+", Y, Y)),
+                             eq(X, apply("+", apply("+", Y, Y), 1)))),
+        )
+        assert domain.decide(parity) is True
+        assert domain.cooper_decisions == 1
+        assert domain.fast_path_decisions == 0
+
+    def test_strict_inequalities_add_unit_slack(self):
+        domain = IntegerDifferenceDomain()
+        # x - y < 1 and y - x < 1 is satisfiable over Z (x = y) ...
+        assert domain.decide(
+            exists("x", exists("y", conj(atom("<", apply("-", X, Y), 1),
+                                         atom("<", apply("-", Y, X), 1))))
+        )
+        # ... but x - y < 0 and y - x < 1 forces x < y <= x, unsatisfiable? no:
+        # y - x < 1 over Z means y <= x, with x < y a contradiction.
+        assert not domain.decide(
+            exists("x", exists("y", conj(atom("<", apply("-", X, Y), 0),
+                                         atom("<", apply("-", Y, X), 1))))
+        )
+
+    def test_equalities_split_into_two_edges(self):
+        domain = IntegerDifferenceDomain()
+        assert domain.decide(
+            exists("x", exists("y", conj(eq(apply("-", X, Y), 3),
+                                         atom("<=", apply("-", X, Y), 3))))
+        )
+        assert not domain.decide(
+            exists("x", exists("y", conj(eq(apply("-", X, Y), 3),
+                                         atom("<=", apply("-", X, Y), 2))))
+        )
+        assert domain.fast_path_decisions == 2
+
+    def test_ordered_safety_auto_detects_the_integer_carrier(self):
+        domain = IntegerDifferenceDomain()
+        safety = OrderedRelativeSafety(domain)
+        from repro.experiments.corpora import numeric_state
+
+        state = numeric_state([-2, 4])
+        below = exists("y", conj(atom("S", Y), atom("<", X, Y)))
+        assert not safety.decide(below, state).is_finite  # unbounded below in Z
+        between = exists(
+            "y", exists("z", conj(atom("S", Y), atom("S", Z),
+                                  atom("<", Y, X), atom("<", X, Z)))
+        )
+        assert safety.decide(between, state).is_finite
+
+
+# ---------------------------------------------------------------------------
+# Finite cyclic successor
+# ---------------------------------------------------------------------------
+
+
+class TestCyclicSuccessor:
+    def test_carrier_and_modular_functions(self):
+        domain = CyclicSuccessorDomain(modulus=5)
+        assert domain.carrier_elements() == (0, 1, 2, 3, 4)
+        assert domain.eval_function("succ", [4]) == 0
+        assert domain.eval_function("pred", [0]) == 4
+        assert not domain.contains(5)
+        with pytest.raises(DomainError):
+            domain.eval_function("succ", [7])
+
+    def test_decides_by_exhaustive_carrier_check(self):
+        domain = CyclicSuccessorDomain(modulus=3)
+        three_around = apply("succ", apply("succ", apply("succ", X)))
+        assert domain.decide(forall("x", eq(three_around, X)))
+        assert not domain.decide(exists("x", eq(apply("succ", X), X)))
+        assert domain.decide(forall("x", eq(apply("pred", apply("succ", X)), X)))
+
+    def test_rejects_out_of_signature_sentences(self):
+        domain = CyclicSuccessorDomain()
+        with pytest.raises(DomainError):
+            domain.decide(exists("x", atom("<", X, X)))
+        with pytest.raises(DomainError):
+            domain.decide(exists("x", eq(X, Const(12))))  # not in Z/12
+
+    def test_finite_carrier_safety_always_finite(self):
+        domain = CyclicSuccessorDomain()
+        safety = FiniteCarrierSafety(domain)
+        from repro.experiments.corpora import numeric_state
+
+        for query in (atom("S", X), neg(atom("S", X)), eq(X, X)):
+            verdict = safety.decide(query, numeric_state([1]))
+            assert verdict.is_finite
+            assert "carrier" in verdict.details
+
+    def test_invalid_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            CyclicSuccessorDomain(modulus=0)
+
+
+# ---------------------------------------------------------------------------
+# Shortlex strings
+# ---------------------------------------------------------------------------
+
+
+class TestShortlexStrings:
+    domain = ShortlexStringDomain()
+
+    def test_rank_unrank_is_an_order_isomorphism(self):
+        words = [self.domain.unrank(i) for i in range(20)]
+        assert words[:7] == ["", "a", "b", "aa", "ab", "ba", "bb"]
+        for i, word in enumerate(words):
+            assert self.domain.rank(word) == i
+        # rank preserves the order exactly
+        for i in range(19):
+            assert self.domain.eval_predicate("<", [words[i], words[i + 1]])
+
+    def test_enumeration_matches_unrank(self):
+        from itertools import islice
+
+        assert list(islice(self.domain.enumerate_elements(), 10)) == [
+            self.domain.unrank(i) for i in range(10)
+        ]
+
+    def test_decides_order_sentences_via_presburger(self):
+        between = exists("z", conj(atom("<", X, Z), atom("<", Z, Y)))
+        assert self.domain.decide(forall("x", exists("y", atom("<", X, Y))))
+        assert self.domain.decide(exists("x", forall("y", atom("<=", X, Y))))
+        assert not self.domain.decide(
+            forall("x", forall("y", implies(atom("<", X, Y), between)))
+        )
+        # Constants translate through their ranks: "" is least, below "a".
+        assert self.domain.decide(exists("x", atom("<", X, Const("a"))))
+        assert not self.domain.decide(exists("x", atom("<", X, Const(""))))
+
+    def test_validation_rejects_foreign_constants_and_functions(self):
+        with pytest.raises(DomainError):
+            self.domain.decide(exists("x", eq(X, Const("xyz"))))
+        with pytest.raises(DomainError):
+            self.domain.decide(exists("x", eq(apply("succ", X), X)))
+        with pytest.raises(ValueError):
+            ShortlexStringDomain(alphabet="a")  # one letter is not enough
+
+    def test_custom_alphabet_is_sorted_and_ranked_consistently(self):
+        domain = ShortlexStringDomain(alphabet="cba")
+        assert domain.alphabet == "abc"
+        for i in range(30):
+            assert domain.rank(domain.unrank(i)) == i
+
+    def test_ordered_safety_through_the_isomorphism(self):
+        safety = OrderedRelativeSafety(self.domain)
+        from repro.relational.schema import DatabaseSchema, RelationSchema
+        from repro.relational.state import DatabaseState
+
+        schema = DatabaseSchema((RelationSchema("W", 1, ("word",)),))
+        state = DatabaseState(schema, {"W": [("ab",)]})
+        below = exists("y", conj(atom("W", Y), atom("<", X, Y)))
+        above = exists("y", conj(atom("W", Y), atom("<", Y, X)))
+        assert safety.decide(below, state).is_finite
+        assert not safety.decide(above, state).is_finite

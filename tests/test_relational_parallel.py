@@ -5,12 +5,14 @@ Four layers:
 * pool plumbing: the ``REPRO_PARALLEL_WORKERS`` override, explicit
   configuration (the serve layer's knob), and the ``worker_pool_info()``
   stats surface;
-* property-style equivalence: over every experiment query corpus (ordered,
-  span, successor, family) the parallel executor — forced into many tiny
-  morsels — must return exactly the vectorized, set-at-a-time, and
-  tree-walking answers, including empty and one-element adoms, a 1-worker
-  pool, and dictionary-encoded string carriers, deterministically across
-  repeated runs;
+* property-style equivalence: over the corpora of every registered domain
+  pack that claims the parallel substrate, the parallel executor — forced
+  into many tiny morsels — must return exactly the vectorized,
+  set-at-a-time, and tree-walking answers, including empty and one-element
+  adoms, a 1-worker pool, and dictionary-encoded string carriers,
+  deterministically across repeated runs (the corpora come from the pack
+  registry, so a newly registered pack is covered without editing this
+  file);
 * the :class:`~repro.engine.plans.ParallelAlgebraPlan` fallback ladder
   (parallel → vectorized → set executor → tree walker), its size
   heuristic, its ``explain()`` morsel stats, and the ``"parallel"``
@@ -27,6 +29,7 @@ import pytest
 np = pytest.importorskip("numpy")
 
 from repro import connect
+from repro.domains import available_packs, get_pack
 from repro.domains.equality import EqualityDomain
 from repro.domains.presburger import PresburgerDomain
 from repro.domains.successor import SuccessorDomain
@@ -42,9 +45,6 @@ from repro.experiments.corpora import (
     family_state,
     numeric_state,
     ordered_query_corpus,
-    span_state,
-    span_query_corpus,
-    successor_query_corpus,
 )
 from repro.logic.parser import parse_formula
 from repro.relational.calculus import evaluate_query_active_domain
@@ -158,43 +158,29 @@ def _assert_four_way_equivalent(query, state, domain, pool, morsel_rows=3):
     return True
 
 
-def test_ordered_corpus_four_way_equivalence(small_pool):
+def _parallel_pack_names():
+    """Packs claiming the parallel substrate, from the registry."""
+    return [
+        name for name in available_packs() if get_pack(name).supports_parallel
+    ]
+
+
+@pytest.mark.parametrize("pack_name", _parallel_pack_names())
+def test_pack_corpora_four_way_equivalence(pack_name, small_pool):
+    pack = get_pack(pack_name)
+    domain = pack.factory()
     checked = 0
-    for _name, query, _finite in ordered_query_corpus():
-        for seed in range(3):
-            rng = random.Random(1000 + seed)
-            values = [rng.randrange(0, 12) for _ in range(rng.randrange(0, 9))]
-            checked += _assert_four_way_equivalent(
-                query, numeric_state(values), PRESBURGER, small_pool
-            )
-    assert checked > 0
-
-
-def test_span_corpus_four_way_equivalence(small_pool):
-    checked = 0
-    for _name, query, _finite in span_query_corpus():
-        for seed in range(3):
-            rng = random.Random(2000 + seed)
-            values = [rng.randrange(0, 30) for _ in range(rng.randrange(0, 7))]
-            spans = [
-                tuple(sorted((rng.randrange(0, 30), rng.randrange(0, 30))))
-                for _ in range(rng.randrange(0, 6))
-            ]
-            checked += _assert_four_way_equivalent(
-                query, span_state(values, spans), PRESBURGER, small_pool
-            )
-    assert checked > 0
-
-
-def test_successor_corpus_four_way_equivalence(small_pool):
-    checked = 0
-    for _name, query, _finite in successor_query_corpus():
-        for seed in range(3):
-            rng = random.Random(3000 + seed)
-            values = [rng.randrange(0, 9) for _ in range(rng.randrange(0, 6))]
-            checked += _assert_four_way_equivalent(
-                query, numeric_state(values), SUCCESSOR, small_pool
-            )
+    for corpus in pack.corpora():
+        states = [corpus.canonical_state]
+        if corpus.state_factory is not None:
+            for seed in range(3):
+                rng = random.Random(f"parallel/{pack_name}/{corpus.name}/{seed}")
+                states.append(corpus.state_factory(rng, rng.randrange(0, 9)))
+        for state in states:
+            for pq in corpus.queries:
+                checked += _assert_four_way_equivalent(
+                    pq.query, state, domain, small_pool
+                )
     assert checked > 0
 
 

@@ -225,6 +225,82 @@ def test_unknown_route_404_and_wrong_method_405(served):
     assert request(served.port, "POST", "/stats")[0] == 405
 
 
+def test_load_shed_returns_503_body_and_retry_after():
+    manager = SessionManager(
+        ServerPolicy(rate=10_000.0, burst=1_000, max_inflight=1)
+    )
+    with serve_in_thread(manager) as handle:
+        port = handle.port
+        session = connect_nat(port)
+        # Occupy the single in-flight slot through the server's own gate, so
+        # the next HTTP request is shed exactly as under real overload.
+        ticket = handle.server._admission.admit(session)
+        try:
+            status, headers, error = request(port, "POST", "/query", {
+                "session": session, "query": "S(x)",
+            })
+        finally:
+            ticket.release()
+        assert status == 503
+        assert "at capacity" in error["error"]
+        assert "retry later" in error["error"]
+        assert float(headers["Retry-After"]) > 0
+        _, _, stats = request(port, "GET", "/stats")
+        assert stats["admission"]["rejected_over_capacity"] == 1
+        # The slot freed up: the same request now succeeds.
+        status, _, answer = request(port, "POST", "/query", {
+            "session": session, "query": "S(x)",
+        })
+        assert status == 200 and answer["rows"] == [[3], [5], [9]]
+
+
+def test_oversized_request_body_gets_413(served):
+    port = served.port
+    # Announce a body over the 8 MiB cap; the server must refuse from the
+    # Content-Length alone, before reading (or us sending) any of it.
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        connection.putrequest("POST", "/query")
+        connection.putheader("Content-Type", "application/json")
+        connection.putheader("Content-Length", str(9 * 1024 * 1024))
+        connection.endheaders()
+        response = connection.getresponse()
+        raw = response.read()
+    finally:
+        connection.close()
+    assert response.status == 413
+    error = json.loads(raw)
+    assert "exceeds" in error["error"]
+
+
+def test_streaming_query_error_is_json_not_event_stream(served):
+    # A query that raises before any rows exist must answer with a JSON
+    # error document, never a half-open SSE stream — even though the client
+    # asked for streaming.
+    port = served.port
+    session = connect_nat(port)
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        connection.request("POST", "/query", body=json.dumps({
+            "session": session,
+            "query": "S(x",  # parse error surfaces mid-handling
+            "stream": True,
+        }))
+        response = connection.getresponse()
+        raw = response.read()
+    finally:
+        connection.close()
+    assert response.status == 400
+    assert response.getheader("Content-Type") == "application/json"
+    error = json.loads(raw)
+    assert "error" in error
+    # The session survives the failed stream and still answers normally.
+    status, _, answer = request(port, "POST", "/query", {
+        "session": session, "query": "S(x)",
+    })
+    assert status == 200 and answer["row_count"] == 3
+
+
 # ---------------------------------------------------------------------------
 # Shutdown
 # ---------------------------------------------------------------------------
