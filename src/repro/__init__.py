@@ -30,11 +30,12 @@ from . import api
 from . import serve
 from .api import Answer, Budget, Session, connect
 from .domains.registry import available_domains, get_domain
+from .relational.state import Delta
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "logic", "relational", "turing", "domains", "safety", "engine", "api",
-    "serve", "connect", "Session", "Budget", "Answer", "get_domain",
+    "serve", "connect", "Session", "Budget", "Answer", "Delta", "get_domain",
     "available_domains", "__version__",
 ]

@@ -21,6 +21,7 @@ from ..domains.registry import (
     register_domain,
     resolve_domain_name,
 )
+from ..engine.answer_cache import AnswerCache, AnswerCacheInfo
 from ..engine.answers import Answer, FiniteAnswer, InfiniteAnswer, UnknownAnswer
 from ..engine.budget import Budget, BudgetClock
 from ..engine.plan_cache import PlanCache, PlanCacheInfo
@@ -31,8 +32,10 @@ from ..engine.plans import (
     EnumerationPlan,
     GuardedOutcome,
     GuardedPlan,
+    IncrementalAlgebraPlan,
     Plan,
 )
+from ..relational.state import Delta
 from .planner import PlanError, Planner
 from .session import QueryAnalysis, QueryResult, Session, SessionError, connect
 
@@ -41,8 +44,10 @@ __all__ = [
     "Planner", "PlanError",
     "Budget", "BudgetClock",
     "Plan", "ActiveDomainPlan", "CompiledAlgebraPlan", "EnumerationPlan",
+    "IncrementalAlgebraPlan",
     "GuardedPlan", "GuardedOutcome", "STRATEGIES",
     "PlanCache", "PlanCacheInfo",
+    "AnswerCache", "AnswerCacheInfo", "Delta",
     "Answer", "FiniteAnswer", "InfiniteAnswer", "UnknownAnswer",
     "DomainEntry", "UnknownDomainError", "register_domain", "get_domain",
     "get_entry", "resolve_domain_name", "available_domains", "domain_aliases",

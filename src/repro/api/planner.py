@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from ..domains.base import Domain
+from ..engine.answer_cache import AnswerCache
 from ..engine.budget import Budget
 from ..engine.plan_cache import PlanCache
 from ..engine.plans import STRATEGIES, Plan, plan_for_strategy
@@ -51,6 +52,7 @@ class Planner:
         supports_parallel: bool = False,
         finite_carrier: bool = False,
         plan_cache: Optional[PlanCache] = None,
+        answer_cache: Optional[AnswerCache] = None,
     ):
         self._domain = domain
         self._syntax = syntax
@@ -61,6 +63,7 @@ class Planner:
         self._parallelizable = supports_parallel
         self._finite_carrier = finite_carrier
         self._plan_cache = plan_cache
+        self._answer_cache = answer_cache
 
     @property
     def domain(self) -> Domain:
@@ -111,6 +114,7 @@ class Planner:
                 ActiveDomainPlan,
                 CompiledAlgebraPlan,
                 GuardedPlan,
+                IncrementalAlgebraPlan,
                 ParallelAlgebraPlan,
                 VectorizedAlgebraPlan,
             )
@@ -127,8 +131,22 @@ class Planner:
                     f"over {self._domain.name!r} every finite query is "
                     "domain-independent"
                 )
-            if self._compilable and self._vectorizable and self._parallelizable:
-                inner: Plan = ParallelAlgebraPlan(
+            if self._answer_cache is not None and self._compilable:
+                # An incremental session: answers are materialised once and
+                # patched by ΔQ rules across mutations, so answer reuse beats
+                # even the columnar substrates on the repeat-query path.
+                inner: Plan = IncrementalAlgebraPlan(
+                    domain=self._domain,
+                    budget=budget if budget is not None else Budget(),
+                    extra_elements=extras,
+                    cache=self._plan_cache,
+                    answer_cache=self._answer_cache,
+                    reason=f"{basis} and the session opted into incremental "
+                    "evaluation, so guard-certified answers are materialised "
+                    "once and patched by ΔQ rules when the state mutates",
+                )
+            elif self._compilable and self._vectorizable and self._parallelizable:
+                inner = ParallelAlgebraPlan(
                     domain=self._domain,
                     budget=budget if budget is not None else Budget(),
                     extra_elements=extras,
@@ -182,4 +200,5 @@ class Planner:
             syntax=self._syntax,
             safety=self._safety,
             cache=self._plan_cache,
+            answer_cache=self._answer_cache,
         )

@@ -35,6 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover - import used only by annotations
 
 from ..domains.base import Domain
 from ..domains.registry import DomainEntry, get_entry
+from ..engine.answer_cache import AnswerCache, AnswerCacheInfo
 from ..engine.answers import Answer
 from ..engine.budget import Budget
 from ..engine.plan_cache import PlanCache, PlanCacheInfo
@@ -43,7 +44,7 @@ from ..logic.analysis import free_variables, functions_of, predicates_of
 from ..logic.formulas import Atom, Formula, walk_formulas
 from ..logic.parser import ParseError, parse_formula
 from ..relational.schema import DatabaseSchema
-from ..relational.state import DatabaseState, Element
+from ..relational.state import DatabaseState, Delta, Element
 from ..safety.classes import SafetyVerdict
 from ..safety.effective_syntax import EffectiveSyntax
 from ..safety.relative_safety import RelativeSafetyDecider
@@ -121,6 +122,8 @@ class Session:
         restrict: bool = False,
         plan_cache_size: int = 128,
         plan_cache: Optional[PlanCache] = None,
+        incremental: bool = False,
+        answer_cache_size: int = 32,
     ):
         entry: Optional[DomainEntry] = None
         if isinstance(domain, str):
@@ -166,6 +169,12 @@ class Session:
         self._plan_cache = (
             plan_cache if plan_cache is not None else PlanCache(maxsize=plan_cache_size)
         )
+        # Incremental sessions additionally keep an *answer* cache: whole
+        # materialised executions, patched by ΔQ rules when the state mutates
+        # through :meth:`apply_delta` (or ``DatabaseState.apply`` directly).
+        # Unlike the plan cache it is never shared across sessions — the
+        # materialisations are mutated in place during maintenance.
+        self._answer_cache = AnswerCache(maxsize=answer_cache_size) if incremental else None
         self._planner = Planner(
             self._domain,
             syntax=self._syntax,
@@ -186,6 +195,7 @@ class Session:
                 entry is not None and entry.finite_carrier
             ),
             plan_cache=self._plan_cache,
+            answer_cache=self._answer_cache,
         )
 
     # -- introspection -------------------------------------------------------
@@ -223,6 +233,25 @@ class Session:
     def plan_cache_info(self) -> PlanCacheInfo:
         """Hit/miss/eviction counters for the compiled-plan cache."""
         return self._plan_cache.info()
+
+    @property
+    def incremental(self) -> bool:
+        """True iff the session maintains answers incrementally across deltas."""
+        return self._answer_cache is not None
+
+    @property
+    def answer_cache(self) -> Optional[AnswerCache]:
+        """The session's answer cache (``None`` unless ``incremental=True``)."""
+        return self._answer_cache
+
+    def answer_cache_info(self) -> AnswerCacheInfo:
+        """Hit/maintained/recompute counters for the answer cache."""
+        if self._answer_cache is None:
+            raise SessionError(
+                "the session was not opened with incremental=True, so it has "
+                "no answer cache"
+            )
+        return self._answer_cache.info()
 
     def encode_cache_info(self) -> "EncodeCacheInfo":
         """Counters for the per-state columnar encode cache.
@@ -419,6 +448,26 @@ class Session:
         table.update(named_relations)
         return DatabaseState(self._schema, table)
 
+    def apply_delta(self, state: DatabaseState, delta: Delta) -> DatabaseState:
+        """Mutate ``state`` by ``delta``; return the new state.
+
+        A convenience over :meth:`DatabaseState.apply
+        <repro.relational.state.DatabaseState.apply>` that additionally keeps
+        the process-wide columnar encode cache coherent: on an insert-only
+        delta the old state's encoded columns are *grown* in place of being
+        re-encoded (appended codes, shared untouched arrays); any delete
+        invalidates them.  The returned state carries the lineage the
+        session's answer cache walks to re-answer at O(Δ) cost.
+        """
+        new_state = state.apply(delta)
+        if new_state is state:
+            return state
+        from ..relational.columnar import encode_cache
+
+        effective = new_state.lineage[-1][1] if new_state.lineage else delta
+        encode_cache().migrate(state, new_state, effective)
+        return new_state
+
 
 def connect(
     domain: Union[str, Domain] = "equality",
@@ -432,6 +481,7 @@ def connect(
     :class:`~repro.domains.base.Domain` instance; ``schema`` defaults to the
     empty schema (pure domain queries).  Keyword options are forwarded to
     :class:`Session` (``budget``, ``syntax``, ``safety``, ``guard``,
-    ``restrict``, ``plan_cache_size``, ``plan_cache``).
+    ``restrict``, ``plan_cache_size``, ``plan_cache``, ``incremental``,
+    ``answer_cache_size``).
     """
     return Session(domain, schema, **options)

@@ -1,7 +1,7 @@
 """The conformance harness: auto-generated validation for any domain pack.
 
 Given a :class:`~repro.domains.packs.DomainPack`, the harness derives and
-runs five families of checks — no per-domain test code required:
+runs six families of checks — no per-domain test code required:
 
 1. **decision-procedure** — every declared ground-truth sentence decides to
    its declared truth value.
@@ -19,7 +19,13 @@ runs five families of checks — no per-domain test code required:
 4. **edge-corpora** — queries run without error on empty and one-row states,
    duplicated rows do not change any answer, and the corpus exercises
    negation or a universal quantifier somewhere.
-5. **bench-smoke** — all queries on a ``bench_size``-row random state finish
+5. **delta-equivalence** — for packs with a compiled substrate, a sequence
+   of randomized interleaved insert/delete deltas applied through
+   :meth:`~repro.relational.state.DatabaseState.apply` and answered by the
+   incremental substrate (:class:`~repro.engine.plans.IncrementalAlgebraPlan`)
+   matches a rebuilt-from-scratch evaluation after every mutation, and the
+   ΔQ maintenance path genuinely engages at least once.
+6. **bench-smoke** — all queries on a ``bench_size``-row random state finish
    inside the pack's wall-clock budget, with compiled executions staying
    under the pack's peak-intermediate-rows ceiling (the blowup guard).
 
@@ -384,6 +390,110 @@ def _check_edge_corpora(
     return CheckResult("edge-corpora", True, detail)
 
 
+def _random_delta(
+    rng: random.Random,
+    state: DatabaseState,
+    pool: DatabaseState,
+    *,
+    insert_only: bool,
+) -> "Delta":
+    """A small random mutation: inserts drawn from ``pool``, deletes from
+    ``state`` (unless ``insert_only``)."""
+    from ..relational.state import Delta
+
+    inserts = {}
+    deletes = {}
+    for name, relation in pool.relations.items():
+        candidates = sorted(relation.rows, key=repr)
+        if candidates and rng.random() < 0.8:
+            inserts[name] = rng.sample(candidates, min(2, len(candidates)))
+    if not insert_only:
+        for name, relation in state.relations.items():
+            stored = sorted(relation.rows, key=repr)
+            if stored and rng.random() < 0.5:
+                deletes[name] = [rng.choice(stored)]
+    return Delta(inserts=inserts, deletes=deletes)
+
+
+def _check_delta_equivalence(
+    pack: DomainPack, domain: Domain, seeds: Sequence[str]
+) -> CheckResult:
+    """Interleaved insert/delete deltas answered incrementally must match a
+    rebuilt-from-scratch evaluation after every mutation."""
+    if not pack.supports_compiled_algebra:
+        return CheckResult(
+            "delta-equivalence",
+            True,
+            "skipped: no compiled substrate to maintain incrementally",
+        )
+    corpora = [c for c in pack.corpora() if c.state_factory is not None]
+    if not corpora:
+        return CheckResult(
+            "delta-equivalence", True, "skipped: no state factory declared"
+        )
+    from ..engine.answer_cache import AnswerCache
+    from ..engine.plans import IncrementalAlgebraPlan
+
+    extras = _carrier_extras(pack, domain)
+    problems: List[str] = []
+    executions = 0
+    maintained = 0
+    cached_plans = 0
+    insert_only_steps = 0
+    for corpus in corpora:
+        for seed in seeds:
+            rng = random.Random(f"delta/{pack.name}/{corpus.name}/{seed}")
+            state = corpus.state_factory(rng, 3)
+            pool = corpus.state_factory(rng, 8)
+            cache = AnswerCache()
+            plan = IncrementalAlgebraPlan(
+                domain=domain,
+                budget=Budget(),
+                extra_elements=extras,
+                answer_cache=cache,
+            )
+            for step in range(5):
+                if step:
+                    delta = _random_delta(
+                        rng, state, pool, insert_only=step == 1
+                    )
+                    mutated = state.apply(delta)
+                    if mutated is state:
+                        continue
+                    if step == 1:
+                        insert_only_steps += 1
+                    state = mutated
+                for pq in corpus.queries:
+                    expected = _reference_rows(pq.query, state, domain, extras)
+                    answer = plan.execute(pq.query, state)
+                    executions += 1
+                    got = frozenset(answer.relation.rows)
+                    if got != expected:
+                        problems.append(
+                            f"{corpus.name}/{pq.name} seed={seed} step={step}: "
+                            f"incremental answer {len(got)} row(s) != rebuilt "
+                            f"{len(expected)}"
+                        )
+            maintained += cache.info().maintained
+            cached_plans += len(cache)
+    # The ΔQ path must genuinely engage somewhere: with at least one
+    # effective insert-only delta and at least one compilable (cached) query,
+    # zero maintained answers means every repeat fell back to re-execution.
+    if insert_only_steps and cached_plans and not maintained:
+        problems.append(
+            "no answer was ever delta-maintained "
+            "(every mutated repeat fell back to full re-execution)"
+        )
+    if problems:
+        return CheckResult("delta-equivalence", False, "; ".join(problems[:8]))
+    return CheckResult(
+        "delta-equivalence",
+        True,
+        f"{executions} post-mutation execution(s) matched rebuilt states "
+        f"({maintained} delta-maintained)",
+    )
+
+
 def _check_bench_smoke(pack: DomainPack, domain: Domain) -> CheckResult:
     corpora = [c for c in pack.corpora() if c.state_factory is not None]
     if not corpora:
@@ -452,6 +562,7 @@ def run_pack_conformance(
         _check_substrate_equivalence(pack, domain, seeds),
         _check_guard_soundness(pack, domain),
         _check_edge_corpora(pack, domain, seeds),
+        _check_delta_equivalence(pack, domain, seeds),
         _check_bench_smoke(pack, domain),
     )
     return PackReport(pack=pack.name, checks=checks)

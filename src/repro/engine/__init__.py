@@ -5,6 +5,7 @@ The modern front door is :func:`repro.connect` (see :mod:`repro.api`); the
 shims over the same :class:`~repro.engine.plans.Plan` machinery.
 """
 
+from .answer_cache import AnswerCache, AnswerCacheInfo
 from .answers import Answer, FiniteAnswer, InfiniteAnswer, UnknownAnswer
 from .budget import Budget, BudgetClock
 from .enumeration import answer_by_enumeration, enumerate_tuples
@@ -17,6 +18,7 @@ from .plans import (
     EnumerationPlan,
     GuardedOutcome,
     GuardedPlan,
+    IncrementalAlgebraPlan,
     Plan,
     VectorizedAlgebraPlan,
     plan_for_strategy,
@@ -27,7 +29,8 @@ __all__ = [
     "Answer", "FiniteAnswer", "InfiniteAnswer", "UnknownAnswer",
     "Budget", "BudgetClock",
     "Plan", "ActiveDomainPlan", "CompiledAlgebraPlan", "VectorizedAlgebraPlan",
-    "EnumerationPlan",
+    "IncrementalAlgebraPlan", "EnumerationPlan",
+    "AnswerCache", "AnswerCacheInfo",
     "GuardedPlan", "GuardedOutcome", "plan_for_strategy", "STRATEGIES",
     "PlanCache", "PlanCacheInfo",
     "answer_by_enumeration", "enumerate_tuples",

@@ -54,6 +54,7 @@ from ..relational.state import DatabaseState, Element, Relation
 from ..safety.classes import FinitenessStatus, SafetyVerdict
 from ..safety.effective_syntax import EffectiveSyntax
 from ..safety.relative_safety import RelativeSafetyDecider, RelativeSafetyUndecidable
+from .answer_cache import AnswerCache
 from .answers import Answer, FiniteAnswer, InfiniteAnswer
 from .budget import Budget
 from .plan_cache import PlanCache
@@ -64,6 +65,7 @@ __all__ = [
     "CompiledAlgebraPlan",
     "VectorizedAlgebraPlan",
     "ParallelAlgebraPlan",
+    "IncrementalAlgebraPlan",
     "EnumerationPlan",
     "GuardedPlan",
     "GuardedOutcome",
@@ -102,7 +104,7 @@ def decide_or_semidecide(
 #: the strategy names understood by :func:`plan_for_strategy`
 STRATEGIES = (
     "auto", "active-domain", "compiled", "vectorized", "parallel",
-    "enumeration", "guarded",
+    "incremental", "enumeration", "guarded",
 )
 
 
@@ -435,6 +437,73 @@ class ParallelAlgebraPlan(VectorizedAlgebraPlan):
 
 
 @dataclass(eq=False)
+class IncrementalAlgebraPlan(CompiledAlgebraPlan):
+    """Answer from a per-session answer cache, patched by state deltas.
+
+    The write-path substrate: the same compiled algebra plan a
+    :class:`CompiledAlgebraPlan` executes is *materialised* — every
+    operator's output retained — and stored in an
+    :class:`~repro.engine.answer_cache.AnswerCache` keyed by (query, schema,
+    domain, extras) and stamped with the state fingerprint.  A repeat query
+    against the same state is O(answer); against a state mutated through
+    :meth:`~repro.relational.state.DatabaseState.apply` the materialisation
+    is patched by the ΔQ rules of :mod:`repro.relational.delta` at
+    O(Δ · answer) cost; everything else falls back to one full materialising
+    execution.  :meth:`explain` records which of the three happened (and
+    why) after every execution.
+
+    Plan compilation is shared with the ``"compiled"`` substrate's cache
+    entries (the algebra plan is identical); only the answer materialisation
+    is new.
+    """
+
+    answer_cache: Optional[AnswerCache] = None
+    reason: str = (
+        "the session opted into incremental evaluation, so answers are "
+        "materialised once and patched by ΔQ rules when the state mutates"
+    )
+    #: what the answer cache did on the last execution, and why
+    last_decision: Optional[str] = None
+
+    strategy = "incremental"
+    #: shares the set-at-a-time substrate's compiled-plan cache entries
+    _substrate: ClassVar[str] = "compiled"
+
+    def execute(self, query: Formula, state: DatabaseState) -> Answer:
+        try:
+            compiled = self._compiled(query, state)
+        except CompilationError as error:
+            self.fallback_reason = str(error)
+            self.last_summary = None
+            self.last_decision = (
+                "recomputed in full: compilation failed, answered by the "
+                "tree-walking active-domain evaluator"
+            )
+            return self._tree_walk_answer(query, state)
+        self.fallback_reason = None
+        self.last_summary = compiled.summary()
+        if self.answer_cache is None:
+            self.last_decision = "recomputed in full: no answer cache configured"
+            relation = compiled.execute(state, self.domain, self.extra_elements)
+            return FiniteAnswer(relation, method="compiled-algebra")
+        key = (query, state.schema, self.domain.name, self.extra_elements)
+        rows, decision = self.answer_cache.answer(
+            key, compiled, state, self.extra_elements, self.domain
+        )
+        self.last_decision = decision
+        relation = Relation(len(compiled.output), rows)
+        return FiniteAnswer(relation, method="incremental")
+
+    def explain(self) -> str:
+        text = super().explain()
+        if self.answer_cache is not None:
+            text += f"; answer cache {self.answer_cache.info()}"
+        if self.last_decision:
+            text += f"; last answer: {self.last_decision}"
+        return text
+
+
+@dataclass(eq=False)
 class EnumerationPlan(Plan):
     """Run the Section 1.1 enumeration algorithm (needs a decidable theory).
 
@@ -548,6 +617,7 @@ def plan_for_strategy(
     syntax: Optional[EffectiveSyntax] = None,
     safety: Optional[RelativeSafetyDecider] = None,
     cache: Optional[PlanCache] = None,
+    answer_cache: Optional[AnswerCache] = None,
 ) -> Plan:
     """Build the :class:`Plan` for a strategy name.
 
@@ -594,6 +664,17 @@ def plan_for_strategy(
             "single-threaded), falling back to the set executor (and, when "
             "compilation bails, the tree walker)",
         )
+    elif strategy == "incremental":
+        inner = IncrementalAlgebraPlan(
+            domain=domain,
+            budget=budget,
+            extra_elements=tuple(extra_elements),
+            cache=cache,
+            answer_cache=answer_cache if answer_cache is not None else AnswerCache(),
+            reason="requested explicitly; materialises answers and patches "
+            "them by ΔQ rules when the state mutates, falling back to a full "
+            "re-execution (and, when compilation bails, the tree walker)",
+        )
     elif strategy == "enumeration":
         inner = EnumerationPlan(
             domain=domain,
@@ -627,7 +708,8 @@ def plan_for_strategy(
     if syntax is None and safety is None:
         return inner
     if strategy in (
-        "active-domain", "compiled", "vectorized", "parallel", "enumeration"
+        "active-domain", "compiled", "vectorized", "parallel", "incremental",
+        "enumeration",
     ):
         # Explicit single-strategy requests bypass the guards.
         return inner

@@ -43,10 +43,17 @@ from .columnar import (
     vectorization_obstacle,
 )
 from .compile import CompilationError, CompiledQuery, compile_query
+from .delta import (
+    DeltaUnsupported,
+    MaintenanceStats,
+    MaterializedPlan,
+    maintain_plan,
+    materialize_plan,
+)
 from .exec import ExecutionStats, plan_summary, run_plan
 from .optimize import domain_is_ordered, optimize_plan
 from .schema import DatabaseSchema, RelationSchema
-from .state import DatabaseState, Element, Relation, Row
+from .state import DatabaseState, Delta, Element, Relation, Row
 from .translate import (
     database_predicates_in,
     expand_database_atoms,
@@ -55,7 +62,7 @@ from .translate import (
 
 __all__ = [
     "RelationSchema", "DatabaseSchema",
-    "Relation", "DatabaseState", "Element", "Row",
+    "Relation", "DatabaseState", "Delta", "Element", "Row",
     "BaseRelation", "LiteralRelation", "Selection", "Projection", "Product",
     "NaturalJoin", "Union", "Difference", "Rename", "NamedRelation",
     "evaluate_algebra",
@@ -70,4 +77,6 @@ __all__ = [
     "merge_intervals", "merge_index_ranges",
     "VectorizationError", "run_plan_vectorized", "vectorization_obstacle",
     "EncodeCache", "EncodeCacheInfo", "encode_cache", "encode_cache_info",
+    "DeltaUnsupported", "MaintenanceStats", "MaterializedPlan",
+    "materialize_plan", "maintain_plan",
 ]

@@ -299,11 +299,18 @@ class EncodeCacheInfo:
     maxsize: int
     #: dictionary-table growth events (codec changes served without re-encode)
     grown: int = 0
+    #: entries dropped eagerly because their state was superseded or
+    #: explicitly invalidated (as opposed to LRU-pressure evictions)
+    invalidated: int = 0
+    #: column arrays migrated append-only to a mutated state (insert-only
+    #: deltas extend the encoded arrays instead of re-encoding the relation)
+    grown_columns: int = 0
 
     def __str__(self) -> str:
         return (
             f"hits={self.hits} misses={self.misses} evictions={self.evictions} "
-            f"size={self.size}/{self.maxsize} grown={self.grown}"
+            f"size={self.size}/{self.maxsize} grown={self.grown} "
+            f"invalidated={self.invalidated} grown_columns={self.grown_columns}"
         )
 
 
@@ -344,6 +351,8 @@ class EncodeCache:
         self._misses = 0
         self._evictions = 0
         self._grown = 0
+        self._invalidated = 0
+        self._grown_columns = 0
         self._lock = threading.Lock()
 
     @property
@@ -405,6 +414,125 @@ class EncodeCache:
                 self._evictions += 1
             return entry
 
+    def invalidate(self, state: DatabaseState) -> int:
+        """Eagerly drop every entry (and growing codec) keyed by ``state``.
+
+        Superseded states' entries are *correct* (states are immutable) but
+        useless once a mutation produces a successor; without this they
+        linger until LRU pressure evicts them.  Returns the number of entries
+        dropped; the drops are counted as ``invalidated``, not ``evictions``.
+        """
+        with self._lock:
+            return self._invalidate_locked(state)
+
+    def _invalidate_locked(self, state: DatabaseState) -> int:
+        stale = [key for key in self._entries if key[0] is state or key[0] == state]
+        for key in stale:
+            del self._entries[key]
+            self._codecs.pop(key, None)
+            self._invalidated += 1
+        for key in [k for k in self._codecs if k[0] is state or k[0] == state]:
+            del self._codecs[key]
+        return len(stale)
+
+    def migrate(
+        self, old_state: DatabaseState, new_state: DatabaseState, delta: Any
+    ) -> int:
+        """Move ``old_state``'s entries to ``new_state`` after a mutation.
+
+        For an **insert-only** effective delta the encoded column arrays are
+        grown append-only: untouched relations share the parent's arrays,
+        touched ones get the inserted rows' codes concatenated after the
+        existing block (growing the state's dictionary codec first when the
+        new rows bring new elements).  Anything else — deletes, or an entry
+        whose fixed-table codec cannot encode a new element — cannot reuse
+        the arrays, so the old entries are invalidated instead.  Returns the
+        number of entries migrated.
+        """
+        inserts: Dict[str, Any] = dict(getattr(delta, "inserts", {}) or {})
+        insert_only = not getattr(delta, "deletes", None)
+        with self._lock:
+            if not insert_only or np is None:
+                self._invalidate_locked(old_state)
+                return 0
+            fresh_elements = tuple(
+                value for rows in inserts.values() for row in rows for value in row
+            )
+            migrated = 0
+            for key in list(self._entries):
+                if not (key[0] is old_state or key[0] == old_state):
+                    continue
+                entry = self._entries.pop(key)
+                codec_key = key[1]
+                codec = self._pick_codec(key, codec_key, fresh_elements)
+                if codec is None:
+                    self._invalidated += 1
+                    continue
+                try:
+                    moved = self._grow_entry(entry, codec, inserts)
+                except VectorizationError:
+                    self._invalidated += 1
+                    continue
+                new_key = (new_state, codec_key)
+                self._entries[new_key] = moved
+                self._entries.move_to_end(new_key)
+                if codec_key == ("dictionary-growing",):
+                    self._codecs[new_key] = codec
+                self._codecs.pop(key, None)
+                migrated += 1
+            # Any growing codec without a column entry still moves forward so
+            # later encodes against the new state keep their code assignments.
+            old_codec_key = (old_state, ("dictionary-growing",))
+            if old_codec_key in self._codecs:
+                codec = self._codecs.pop(old_codec_key).extend(fresh_elements)
+                self._codecs.setdefault((new_state, ("dictionary-growing",)), codec)
+            return migrated
+
+    def _pick_codec(
+        self, key: Any, codec_key: Any, fresh_elements: Sequence[Element]
+    ) -> Optional[ElementCodec]:
+        """The codec to encode the inserted rows under one entry's key."""
+        if codec_key == ("numeric",):
+            if all(
+                isinstance(value, int) and -_INT64_LIMIT < value < _INT64_LIMIT
+                for value in fresh_elements
+            ):
+                return ElementCodec(numeric=True, table=())
+            return None
+        if codec_key == ("dictionary-growing",):
+            prior = self._codecs.get(key)
+            if prior is None:
+                return None
+            grown = prior.extend(tuple(fresh_elements))
+            if grown is not prior:
+                self._grown += 1
+            return grown
+        # Fixed-table dictionary codecs cannot learn new elements; migrate
+        # only when every inserted element is already encodable.
+        prior = ElementCodec(False, codec_key[1]) if codec_key[0] == "dictionary" else None
+        if prior is not None and all(prior.encodable(v) for v in fresh_elements):
+            return prior
+        return None
+
+    def _grow_entry(
+        self,
+        entry: Dict[str, Any],
+        codec: ElementCodec,
+        inserts: Dict[str, Any],
+    ) -> Dict[str, Any]:
+        """Append the inserted rows' codes to the touched relations' arrays."""
+        moved: Dict[str, Any] = {}
+        for name, codes in entry.items():
+            rows = inserts.get(name)
+            if not rows:
+                moved[name] = codes  # untouched: share the parent's array
+                continue
+            ordered = tuple(rows)
+            appended = codec.encode_rows(ordered, codes.shape[1])
+            moved[name] = np.concatenate([codes, appended], axis=0)
+            self._grown_columns += 1
+        return moved
+
     def clear(self) -> None:
         """Drop every entry (the counters survive)."""
         with self._lock:
@@ -421,6 +549,8 @@ class EncodeCache:
                 size=len(self._entries),
                 maxsize=self._maxsize,
                 grown=self._grown,
+                invalidated=self._invalidated,
+                grown_columns=self._grown_columns,
             )
 
 

@@ -4,6 +4,16 @@
 Section 1.  A :class:`Relation` is an immutable finite set of tuples of domain
 elements; a :class:`DatabaseState` maps every relation name of a schema to a
 relation of the right arity.
+
+States stay immutable value objects; *mutation* is expressed by
+:meth:`DatabaseState.apply` taking a :class:`Delta` (row inserts/deletes per
+relation) and producing a new state that structurally shares every untouched
+:class:`Relation` and *patches* the content fingerprint in O(Δ) instead of
+re-hashing every stored row.  Each applied delta also extends the state's
+:attr:`~DatabaseState.lineage` — a bounded chain of (parent fingerprint,
+effective delta) links that lets answer caches walk from a previously
+materialised state to the current one and re-answer at O(Δ) cost
+(:mod:`repro.relational.delta`).
 """
 
 from __future__ import annotations
@@ -13,10 +23,35 @@ from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Sequence, Tuple
 
 from .schema import DatabaseSchema
 
-__all__ = ["Element", "Row", "Relation", "DatabaseState"]
+__all__ = ["Element", "Row", "Relation", "Delta", "DatabaseState"]
 
 Element = Union[int, str]
 Row = Tuple[Element, ...]
+
+#: how many (parent fingerprint, delta) links a state remembers; answer
+#: caches older than this many mutations re-materialise instead of chaining
+MAX_LINEAGE = 16
+
+_FP_MASK = (1 << 64) - 1
+
+
+def _mix64(value: int) -> int:
+    """The splitmix64 finalizer: scramble a 64-bit value into a well-mixed one.
+
+    Python's builtin ``hash`` is nearly the identity on small ints, which
+    would make XOR-accumulated row tokens cancel catastrophically (e.g.
+    ``{(0, 1)}`` vs ``{(1, 0)}``); one multiply-xorshift round restores
+    avalanche so the XOR of tokens behaves like a random set hash.
+    """
+    value &= _FP_MASK
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _FP_MASK
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _FP_MASK
+    return value ^ (value >> 31)
+
+
+def _row_token(name: str, row: Row) -> int:
+    """The fingerprint contribution of one stored row of one relation."""
+    return _mix64(hash((name, row)))
 
 
 @dataclass(frozen=True)
@@ -88,6 +123,108 @@ class Relation:
 
 
 @dataclass(frozen=True)
+class Delta:
+    """A batch mutation: per-relation row inserts and deletes.
+
+    Deltas are plain values (hashable, comparable); applying one to a state
+    removes the deletes first and then adds the inserts, so a row named in
+    both ends up present.  Empty row sets are dropped during normalisation,
+    making ``Delta() == Delta(inserts={"R": []})``.
+
+    >>> d = Delta(inserts={"F": [(1, 2)]}, deletes={"F": [(0, 1)]})
+    >>> d.changed_relations(), d.row_count(), d.insert_only()
+    (('F',), 2, False)
+    """
+
+    inserts: Mapping[str, FrozenSet[Row]]
+    deletes: Mapping[str, FrozenSet[Row]]
+
+    def __init__(
+        self,
+        inserts: Mapping[str, Iterable[Sequence[Element]]] = (),
+        deletes: Mapping[str, Iterable[Sequence[Element]]] = (),
+    ):
+        object.__setattr__(self, "inserts", _normalise_rows(inserts))
+        object.__setattr__(self, "deletes", _normalise_rows(deletes))
+
+    @classmethod
+    def insert(cls, relation: str, *rows: Sequence[Element]) -> "Delta":
+        """A pure-insert delta for one relation."""
+        return cls(inserts={relation: rows})
+
+    @classmethod
+    def delete(cls, relation: str, *rows: Sequence[Element]) -> "Delta":
+        """A pure-delete delta for one relation."""
+        return cls(deletes={relation: rows})
+
+    def is_empty(self) -> bool:
+        return not self.inserts and not self.deletes
+
+    def insert_only(self) -> bool:
+        """True iff the delta only ever adds rows (never removes one)."""
+        return not self.deletes
+
+    def changed_relations(self) -> Tuple[str, ...]:
+        return tuple(sorted(set(self.inserts) | set(self.deletes)))
+
+    def row_count(self) -> int:
+        """Total number of row changes named by the delta."""
+        return sum(len(rows) for rows in self.inserts.values()) + sum(
+            len(rows) for rows in self.deletes.values()
+        )
+
+    def then(self, other: "Delta") -> "Delta":
+        """The composition: applying ``self`` then ``other``, as one delta.
+
+        For *effective* deltas (every insert genuinely new, every delete
+        genuinely present — what :meth:`DatabaseState.apply` records in the
+        lineage) the composition is again effective with respect to the
+        original base state: a row inserted and later deleted (or deleted
+        and later re-inserted) is a net no-op and is dropped from both
+        sides.
+        """
+        inserts: Dict[str, FrozenSet[Row]] = {}
+        deletes: Dict[str, FrozenSet[Row]] = {}
+        for name in set(self.changed_relations()) | set(other.changed_relations()):
+            i1 = self.inserts.get(name, frozenset())
+            d1 = self.deletes.get(name, frozenset())
+            i2 = other.inserts.get(name, frozenset())
+            d2 = other.deletes.get(name, frozenset())
+            net_ins = (i1 - d2) | (i2 - d1)
+            net_del = (d1 - i2) | (d2 - i1)
+            if net_ins:
+                inserts[name] = net_ins
+            if net_del:
+                deletes[name] = net_del
+        return Delta(inserts, deletes)
+
+    def __hash__(self) -> int:
+        return hash((
+            tuple(sorted(self.inserts.items())),
+            tuple(sorted(self.deletes.items())),
+        ))
+
+    def __str__(self) -> str:
+        parts = []
+        for name in self.changed_relations():
+            added = len(self.inserts.get(name, ()))
+            removed = len(self.deletes.get(name, ()))
+            parts.append(f"{name}: +{added}/-{removed}")
+        return "Delta{" + "; ".join(parts) + "}"
+
+
+def _normalise_rows(
+    table: Mapping[str, Iterable[Sequence[Element]]],
+) -> Dict[str, FrozenSet[Row]]:
+    normalised: Dict[str, FrozenSet[Row]] = {}
+    for name, rows in (dict(table) if table else {}).items():
+        frozen = frozenset(tuple(row) for row in rows)
+        if frozen:
+            normalised[name] = frozen
+    return normalised
+
+
+@dataclass(frozen=True)
 class DatabaseState:
     """A database state: one finite relation per relation of the schema."""
 
@@ -148,15 +285,121 @@ class DatabaseState:
         per-state caches (the columnar encode cache, the memoised
         relative-safety verdicts) — without it every lookup would re-hash
         every stored row.
+
+        The hash is the XOR of one splitmix64-mixed token per stored
+        ``(relation name, row)`` pair (plus a schema token).  XOR is
+        order-independent and self-inverse, which is what lets
+        :meth:`apply` *patch* the parent fingerprint with just the changed
+        rows' tokens — O(Δ) — instead of re-hashing the whole state.
         """
         cached = self.__dict__.get("_fingerprint")
         if cached is None:
-            cached = hash((self.schema, tuple(sorted(
-                (name, relation.rows)
-                for name, relation in self.relations.items()
-            ))))
+            cached = _mix64(hash(self.schema))
+            for name, relation in self.relations.items():
+                for row in relation.rows:
+                    cached ^= _row_token(name, row)
             object.__setattr__(self, "_fingerprint", cached)
         return cached
+
+    @property
+    def version(self) -> int:
+        """How many effective mutations separate this state from its root.
+
+        Freshly constructed states are version 0; each :meth:`apply` that
+        actually changes something increments it.  Together with
+        :meth:`fingerprint` this is what keys per-session answer caches.
+        """
+        return self.__dict__.get("_version", 0)
+
+    @property
+    def lineage(self) -> Tuple[Tuple[int, Delta], ...]:
+        """The last ≤ ``MAX_LINEAGE`` (parent fingerprint, effective delta)
+        links, oldest first.
+
+        ``lineage[i]`` says: the state whose fingerprint is ``lineage[i][0]``
+        becomes (the next link's parent, or this state) by applying
+        ``lineage[i][1]``.  Answer caches use it to locate a previously
+        materialised ancestor and compose the deltas separating it from this
+        state (:meth:`Delta.then`).
+        """
+        return self.__dict__.get("_lineage", ())
+
+    def apply(self, delta: Delta) -> "DatabaseState":
+        """The state after a batch mutation (deletes first, then inserts).
+
+        The new state structurally shares every :class:`Relation` the delta
+        does not touch, inherits a fingerprint *patched* with the changed
+        rows' tokens (never re-hashing untouched rows), and records the
+        *effective* delta — inserts already present and deletes already
+        absent are dropped — in its :attr:`lineage`.  Applying a delta with
+        no effective change returns ``self`` unchanged.
+
+        >>> from repro.relational.schema import DatabaseSchema, RelationSchema
+        >>> schema = DatabaseSchema([RelationSchema("F", 2)])
+        >>> state = DatabaseState(schema, {"F": [(0, 1)]})
+        >>> grown = state.apply(Delta.insert("F", (1, 2)))
+        >>> sorted(grown["F"].rows), grown.version
+        ([(0, 1), (1, 2)], 1)
+        >>> grown.fingerprint() == DatabaseState(schema,
+        ...     {"F": [(0, 1), (1, 2)]}).fingerprint()
+        True
+        """
+        effective_ins: Dict[str, FrozenSet[Row]] = {}
+        effective_del: Dict[str, FrozenSet[Row]] = {}
+        relations: Dict[str, Relation] = dict(self.relations)
+        for name in delta.changed_relations():
+            relation = self.relations.get(name)
+            if relation is None:
+                raise ValueError(f"no relation named {name!r} in this state")
+            requested_ins = delta.inserts.get(name, frozenset())
+            requested_del = delta.deletes.get(name, frozenset())
+            for row in requested_ins | requested_del:
+                if len(row) != relation.arity:
+                    raise ValueError(
+                        f"relation {name}: row {row!r} has {len(row)} "
+                        f"columns, expected {relation.arity}"
+                    )
+            # Deletes apply first, so a row in both sets ends up present:
+            # new = (old - deletes) | inserts.
+            ins = requested_ins - relation.rows
+            dels = (requested_del & relation.rows) - requested_ins
+            if not ins and not dels:
+                continue
+            effective_ins[name] = ins if ins else frozenset()
+            effective_del[name] = dels if dels else frozenset()
+            relations[name] = Relation(
+                relation.arity, (relation.rows - dels) | ins
+            )
+        effective = Delta(effective_ins, effective_del)
+        if effective.is_empty():
+            return self
+        state = DatabaseState(self.schema, relations)
+        patched = self.fingerprint()
+        for name, rows in effective.inserts.items():
+            for row in rows:
+                patched ^= _row_token(name, row)
+        for name, rows in effective.deletes.items():
+            for row in rows:
+                patched ^= _row_token(name, row)
+        object.__setattr__(state, "_fingerprint", patched)
+        object.__setattr__(state, "_version", self.version + 1)
+        lineage = self.lineage[-(MAX_LINEAGE - 1):] if MAX_LINEAGE > 1 else ()
+        object.__setattr__(
+            state, "_lineage", lineage + ((self.fingerprint(), effective),)
+        )
+        # Insert-only deltas can also patch the memoised element set (if the
+        # parent ever computed it); deletes cannot, since an element may have
+        # other occurrences.
+        parent_elements = self.__dict__.get("_elements")
+        if parent_elements is not None and effective.insert_only():
+            fresh = frozenset(
+                value
+                for rows in effective.inserts.values()
+                for row in rows
+                for value in row
+            )
+            object.__setattr__(state, "_elements", parent_elements | fresh)
+        return state
 
     def with_relation(
         self, name: str, rows: Union[Relation, Iterable[Sequence[Element]]]

@@ -14,7 +14,8 @@ Turns the single-caller library into a multi-tenant service:
 * :mod:`repro.serve.policy` — :class:`ServerPolicy`, including per-request
   :class:`~repro.engine.budget.Budget` clamping;
 * :mod:`repro.serve.server` — the framework-free asyncio HTTP/SSE front end
-  (``/connect``, ``/query``, ``/explain``, ``/stats``, ``/disconnect``).
+  (``/connect``, ``/query``, ``/explain``, ``/mutate``, ``/stats``,
+  ``/disconnect``).
 
 Run one with ``python -m repro.serve`` (see ``README.md``), or embed::
 

@@ -68,13 +68,20 @@ class ServerPolicy:
     #: directory for the on-disk PlanStore (None disables persistence)
     plan_store_path: Optional[str] = None
 
+    # -- incremental evaluation ---------------------------------------------
+    #: open sessions with ``incremental=True`` so repeat queries after a
+    #: ``/mutate`` are answered by ΔQ maintenance instead of re-execution
+    incremental: bool = True
+    #: materialised answers kept per session (the answer cache's LRU size)
+    answer_cache_size: int = 64
+
     # -- HTTP/SSE ------------------------------------------------------------
     #: rows per SSE ``rows`` event when streaming large answers
     sse_chunk_rows: int = 256
 
     def __post_init__(self) -> None:
         for name in ("max_sessions", "burst", "max_inflight", "workers",
-                     "plan_cache_size", "sse_chunk_rows"):
+                     "plan_cache_size", "sse_chunk_rows", "answer_cache_size"):
             value = getattr(self, name)
             if not isinstance(value, int) or value <= 0:
                 raise ValueError(f"{name} must be a positive integer, got {value!r}")

@@ -10,6 +10,9 @@ expose four JSON endpoints —
 * ``POST /query`` — run a query on a session; JSON rows, or Server-Sent
   Events (``"stream": true``) chunking large answers;
 * ``POST /explain`` — the analysis + plan the session would use, unexecuted;
+* ``POST /mutate`` — apply an insert/delete delta to the session's default
+  state; repeat queries are then delta-maintained at O(Δ) cost instead of
+  re-executed (see :mod:`repro.relational.delta`);
 * ``GET /stats`` — sessions, shared plan cache (memory + disk tiers),
   encode cache, admission counters, policy;
 * ``POST /disconnect`` — drop a session early (TTL would get it eventually).
@@ -33,7 +36,7 @@ from typing import Any, Dict, Optional, Tuple
 from ..api.session import SessionError
 from ..engine.budget import Budget
 from ..relational.schema import DatabaseSchema, RelationSchema
-from ..relational.state import DatabaseState
+from ..relational.state import DatabaseState, Delta
 from .admission import AdmissionController, AdmissionError
 from .policy import DEFAULT_POLICY, ServerPolicy
 from .sessions import SessionManager, UnknownSessionError
@@ -105,6 +108,31 @@ def _state_from_json(schema: DatabaseSchema, spec: Any) -> Optional[DatabaseStat
         return DatabaseState(schema, {name: rows for name, rows in spec.items()})
     except (TypeError, ValueError, KeyError) as error:
         raise _HttpError(400, f"bad state: {error}")
+
+
+def _delta_from_json(body: Dict[str, Any]) -> Delta:
+    """``{"insert": {"S": [[1]]}, "delete": {"S": [[2]]}}`` — either optional."""
+    def rows_of(spec: Any, verb: str) -> Dict[str, Any]:
+        if spec is None:
+            return {}
+        if not isinstance(spec, dict):
+            raise _HttpError(
+                400, f"{verb!r} must be an object mapping relation names to rows"
+            )
+        table = {}
+        for name, rows in spec.items():
+            if not isinstance(rows, list):
+                raise _HttpError(400, f"{verb}[{name!r}] must be a list of rows")
+            table[name] = [tuple(row) if isinstance(row, list) else row for row in rows]
+        return table
+
+    try:
+        return Delta(
+            inserts=rows_of(body.get("insert"), "insert"),
+            deletes=rows_of(body.get("delete"), "delete"),
+        )
+    except (TypeError, ValueError) as error:
+        raise _HttpError(400, f"bad delta: {error}")
 
 
 def _budget_from_json(spec: Any) -> Optional[Budget]:
@@ -276,11 +304,14 @@ class QueryServer:
                 return
             elif (method, path) == ("POST", "/explain"):
                 payload = await self._handle_explain(body)
+            elif (method, path) == ("POST", "/mutate"):
+                payload = await self._handle_mutate(body)
             elif (method, path) == ("GET", "/stats"):
                 payload = self._handle_stats()
             elif (method, path) == ("POST", "/disconnect"):
                 payload = self._handle_disconnect(body)
-            elif path in ("/connect", "/query", "/explain", "/disconnect", "/stats"):
+            elif path in ("/connect", "/query", "/explain", "/mutate",
+                          "/disconnect", "/stats"):
                 raise _HttpError(405, f"{method} not supported on {path}")
             else:
                 raise _HttpError(404, f"no route {method} {path}")
@@ -428,6 +459,27 @@ class QueryServer:
         finally:
             ticket.release()
         return {"session": session_id, "explanation": text}
+
+    async def _handle_mutate(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        session_id = self._admitted_session(body)
+        delta = _delta_from_json(body)
+        try:
+            ticket = self._admission.admit(session_id)
+        except AdmissionError as error:
+            raise _HttpError(error.status, str(error), retry_after=error.retry_after)
+        try:
+            loop = asyncio.get_running_loop()
+            receipt = await loop.run_in_executor(
+                self._manager.executor,
+                lambda: self._manager.mutate(session_id, delta),
+            )
+        except UnknownSessionError as error:
+            raise _HttpError(404, str(error))
+        except (SessionError, ValueError) as error:
+            raise _HttpError(400, str(error))
+        finally:
+            ticket.release()
+        return receipt
 
     def _handle_stats(self) -> Dict[str, Any]:
         stats = self._manager.stats()

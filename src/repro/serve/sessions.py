@@ -43,7 +43,7 @@ from ..engine.budget import Budget
 from ..engine.plan_cache import PlanCache
 from ..relational.parallel import configure_worker_pool, worker_pool_info
 from ..relational.schema import DatabaseSchema
-from ..relational.state import DatabaseState
+from ..relational.state import DatabaseState, Delta
 from .plan_store import PersistentPlanCache, PlanStore
 from .policy import DEFAULT_POLICY, ServerPolicy
 
@@ -73,6 +73,7 @@ class ManagedSession:
         #: serializes this session's queries (distinct sessions do not share it)
         self.lock = threading.Lock()
         self.queries_served = 0
+        self.mutations_applied = 0
 
     def touch(self, now: float) -> None:
         self.last_used = now
@@ -87,6 +88,9 @@ class ManagedSession:
             "domain": self.session.domain.name,
             "relations": list(self.session.schema.names),
             "queries_served": self.queries_served,
+            "mutations_applied": self.mutations_applied,
+            "state_version": None if self.state is None else self.state.version,
+            "incremental": self.session.incremental,
             "idle_seconds": None,  # filled by the manager, which owns the clock
         }
 
@@ -176,6 +180,8 @@ class SessionManager:
         """
         options.pop("plan_cache", None)
         options.pop("plan_cache_size", None)
+        options.setdefault("incremental", self._policy.incremental)
+        options.setdefault("answer_cache_size", self._policy.answer_cache_size)
         session = Session(domain, schema, plan_cache=self._plan_cache, **options)
         now = self._clock()
         with self._lock:
@@ -267,6 +273,42 @@ class SessionManager:
         managed.touch(self._clock())
         return result
 
+    def mutate(self, session_id: str, delta: Delta) -> Dict[str, Any]:
+        """Apply a delta to a session's default state; JSON-ready receipt.
+
+        The mutation runs under the session's lock (serialized with its
+        queries), replaces the managed default state with the one
+        :meth:`Session.apply_delta <repro.api.session.Session.apply_delta>`
+        returns — structurally sharing untouched relations, growing encoded
+        columns on insert-only deltas — and leaves the lineage in place for
+        the answer cache to re-answer at O(Δ) cost.
+        """
+        managed = self.get(session_id)
+        with managed.lock:
+            base = managed.state if managed.state is not None else managed.session.state()
+            new_state = managed.session.apply_delta(base, delta)
+            changed = 0
+            if new_state is not base:
+                managed.state = new_state
+                managed.mutations_applied += 1
+                changed = (
+                    new_state.lineage[-1][1].row_count()
+                    if new_state.lineage
+                    else delta.row_count()
+                )
+            receipt = {
+                "session_id": session_id,
+                "applied": new_state is not base,
+                "changed_rows": changed,
+                "state_version": new_state.version,
+                "fingerprint": f"{new_state.fingerprint():016x}",
+                "total_rows": sum(
+                    len(relation) for relation in new_state.relations.values()
+                ),
+            }
+        managed.touch(self._clock())
+        return receipt
+
     def submit_query(
         self,
         session_id: str,
@@ -332,6 +374,8 @@ class SessionManager:
                 "size": encode_info.size,
                 "maxsize": encode_info.maxsize,
                 "grown": encode_info.grown,
+                "invalidated": encode_info.invalidated,
+                "grown_columns": encode_info.grown_columns,
             },
             "parallel": worker_pool_info(),
         }

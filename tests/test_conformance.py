@@ -136,6 +136,7 @@ def test_builtin_pack_conformance(pack_name):
         "substrate-equivalence",
         "guard-soundness",
         "edge-corpora",
+        "delta-equivalence",
         "bench-smoke",
     }
 
