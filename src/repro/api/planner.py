@@ -23,7 +23,7 @@ from typing import Iterable, Optional
 
 from ..domains.base import Domain
 from ..engine.answer_cache import AnswerCache
-from ..engine.budget import Budget
+from ..engine.budget import Budget, CancelToken
 from ..engine.plan_cache import PlanCache
 from ..engine.plans import STRATEGIES, Plan, plan_for_strategy
 from ..relational.state import Element
@@ -79,8 +79,13 @@ class Planner:
         strategy: str = "auto",
         budget: Optional[Budget] = None,
         extra_elements: Iterable[Element] = (),
+        cancel_token: Optional[CancelToken] = None,
     ) -> Plan:
-        """The plan for ``strategy``, with its :meth:`explain` filled in."""
+        """The plan for ``strategy``, with its :meth:`explain` filled in.
+
+        ``cancel_token`` makes the returned plan's execution cooperatively
+        cancellable from another thread (the serving layer's ``/cancel``).
+        """
         if strategy not in STRATEGIES:
             raise PlanError(
                 f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
@@ -144,6 +149,7 @@ class Planner:
                     reason=f"{basis} and the session opted into incremental "
                     "evaluation, so guard-certified answers are materialised "
                     "once and patched by ΔQ rules when the state mutates",
+                    cancel_token=cancel_token,
                 )
             elif self._compilable and self._vectorizable and self._parallelizable:
                 inner = ParallelAlgebraPlan(
@@ -155,6 +161,7 @@ class Planner:
                     "so guard-certified queries are answered by the vectorized "
                     "columnar executor, morsel-parallel on large states "
                     "(exact, set semantics)",
+                    cancel_token=cancel_token,
                 )
             elif self._compilable and self._vectorizable:
                 inner = VectorizedAlgebraPlan(
@@ -165,6 +172,7 @@ class Planner:
                     reason=f"{basis} and carriers encode to int64 columns, "
                     "so guard-certified queries are answered by the vectorized "
                     "NumPy columnar executor (exact, set semantics)",
+                    cancel_token=cancel_token,
                 )
             elif self._compilable:
                 inner = CompiledAlgebraPlan(
@@ -175,6 +183,7 @@ class Planner:
                     reason=f"{basis}, so guard-certified queries are "
                     "answered by the compiled relational-algebra backend "
                     "(set-at-a-time, exact)",
+                    cancel_token=cancel_token,
                 )
             else:
                 inner = ActiveDomainPlan(
@@ -183,6 +192,7 @@ class Planner:
                     extra_elements=extras,
                     reason=f"{basis}, so active-domain evaluation is exact for "
                     "guard-certified finite queries",
+                    cancel_token=cancel_token,
                 )
             return GuardedPlan(
                 inner=inner,
@@ -201,4 +211,5 @@ class Planner:
             safety=self._safety,
             cache=self._plan_cache,
             answer_cache=self._answer_cache,
+            cancel_token=cancel_token,
         )

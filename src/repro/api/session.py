@@ -37,7 +37,7 @@ from ..domains.base import Domain
 from ..domains.registry import DomainEntry, get_entry
 from ..engine.answer_cache import AnswerCache, AnswerCacheInfo
 from ..engine.answers import Answer
-from ..engine.budget import Budget
+from ..engine.budget import Budget, CancelToken
 from ..engine.plan_cache import PlanCache, PlanCacheInfo
 from ..engine.plans import GuardedPlan, Plan, decide_or_semidecide
 from ..logic.analysis import free_variables, functions_of, predicates_of
@@ -351,10 +351,18 @@ class Session:
         strategy: str = "auto",
         budget: Optional[Budget] = None,
         extra_elements: Iterable[Element] = (),
+        cancel_token: Optional[CancelToken] = None,
     ) -> Plan:
-        """The plan the session would execute for ``strategy``."""
+        """The plan the session would execute for ``strategy``.
+
+        ``cancel_token`` makes the execution cooperatively cancellable from
+        another thread (used by the serving layer's ``/cancel``).
+        """
         return self._planner.plan(
-            strategy, budget if budget is not None else self._budget, extra_elements
+            strategy,
+            budget if budget is not None else self._budget,
+            extra_elements,
+            cancel_token,
         )
 
     # -- pipeline stage 4: execute ------------------------------------------
@@ -380,11 +388,12 @@ class Session:
         strategy: str = "auto",
         budget: Optional[Budget] = None,
         extra_elements: Iterable[Element] = (),
+        cancel_token: Optional[CancelToken] = None,
     ) -> QueryResult:
         """Compile, plan, and execute; return the full pipeline trace."""
         formula = self.compile(query)
         state = state if state is not None else self.state()
-        plan = self.plan(strategy, budget, extra_elements)
+        plan = self.plan(strategy, budget, extra_elements, cancel_token)
         started = time.perf_counter()
         if isinstance(plan, GuardedPlan):
             outcome = plan.run(formula, state)

@@ -7,6 +7,7 @@ pack).
 """
 
 from .harness import (
+    CHECK_NAMES,
     CheckResult,
     ConformanceReport,
     PackReport,
@@ -18,6 +19,7 @@ __all__ = [
     "CheckResult",
     "PackReport",
     "ConformanceReport",
+    "CHECK_NAMES",
     "run_pack_conformance",
     "run_conformance",
 ]

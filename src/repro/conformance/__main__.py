@@ -12,7 +12,7 @@ import sys
 from typing import Optional, Sequence
 
 from ..domains.packs import available_packs
-from .harness import run_conformance
+from .harness import CHECK_NAMES, run_conformance
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -31,9 +31,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default="0,1",
         help="comma-separated seeds for the randomized state generators",
     )
+    parser.add_argument(
+        "--checks",
+        default="",
+        help="comma-separated check families to run; default: all "
+        f"({', '.join(CHECK_NAMES)})",
+    )
     options = parser.parse_args(argv)
     seeds = tuple(s for s in options.seeds.split(",") if s)
-    report = run_conformance(options.packs or None, seeds=seeds)
+    checks = tuple(c for c in options.checks.split(",") if c) or None
+    report = run_conformance(options.packs or None, seeds=seeds, checks=checks)
     print(report.describe())
     return 0 if report.ok else 1
 

@@ -1,7 +1,7 @@
 """The conformance harness: auto-generated validation for any domain pack.
 
 Given a :class:`~repro.domains.packs.DomainPack`, the harness derives and
-runs six families of checks — no per-domain test code required:
+runs seven families of checks — no per-domain test code required:
 
 1. **decision-procedure** — every declared ground-truth sentence decides to
    its declared truth value.
@@ -28,9 +28,19 @@ runs six families of checks — no per-domain test code required:
 6. **bench-smoke** — all queries on a ``bench_size``-row random state finish
    inside the pack's wall-clock budget, with compiled executions staying
    under the pack's peak-intermediate-rows ceiling (the blowup guard).
+7. **faults** — under every fault in the seeded injection matrix
+   (:meth:`repro.testing.faults.FaultPlan.matrix`: exceptions, delays, and
+   corrupted plan-store pickles at each named injection point), every
+   substrate either still answers exactly the tree walker's rows (the
+   fallback ladder absorbed the fault) or fails *cleanly* with a structured
+   error — never a hang (a watchdog bounds each run), never wrong rows.
 
 The vectorized and parallel substrates are checked only when NumPy is
 available; their *claims* checks are skipped (not failed) without it.
+
+``run_pack_conformance(..., checks=("faults",))`` (CLI: ``--checks``)
+restricts a run to named check families — the chaos CI job runs the
+``faults`` family alone over a seed matrix.
 """
 
 from __future__ import annotations
@@ -59,6 +69,7 @@ __all__ = [
     "CheckResult",
     "PackReport",
     "ConformanceReport",
+    "CHECK_NAMES",
     "run_pack_conformance",
     "run_conformance",
 ]
@@ -494,6 +505,171 @@ def _check_delta_equivalence(
     )
 
 
+#: seconds the faults check allows one injected-fault scenario before
+#: declaring it hung (the acceptance bar is "never hangs")
+FAULT_WATCHDOG_SECONDS = 60.0
+
+
+def _check_faults(
+    pack: DomainPack, domain: Domain, seeds: Sequence[str]
+) -> CheckResult:
+    """Every substrate answers correctly or fails cleanly under injection.
+
+    For each fault in the seeded matrix, the full claimed ladder (plus the
+    incremental plan across a mutation, so maintenance rules run) executes
+    every corpus query with the fault active.  Acceptable outcomes per
+    execution: rows identical to the tree walker's, or a structured error
+    (:class:`~repro.testing.faults.InjectedFault` /
+    :class:`~repro.engine.budget.EvaluationInterrupted`).  Wrong rows, an
+    unstructured crash, or blowing the watchdog fail the check.
+    """
+    if not pack.supports_compiled_algebra:
+        return CheckResult(
+            "faults", True, "skipped: no algebra substrates to inject faults into"
+        )
+    import shutil
+    import tempfile
+    from concurrent.futures import ThreadPoolExecutor
+    from concurrent.futures import TimeoutError as FutureTimeout
+
+    from ..engine.answer_cache import AnswerCache
+    from ..engine.breaker import SubstrateBreaker
+    from ..engine.budget import EvaluationInterrupted
+    from ..engine.plans import IncrementalAlgebraPlan
+    from ..serve.plan_store import PersistentPlanCache, PlanStore
+    from ..testing import faults
+
+    extras = _carrier_extras(pack, domain)
+    # Precompute the mutation scenarios and their tree-walker references
+    # outside injection, so the oracle itself never sees a fault and the
+    # per-point hit counts inside the scenario stay deterministic.
+    scenarios = []  # (corpus, [(state, {query name: expected rows})...])
+    for corpus in pack.corpora():
+        states = [corpus.canonical_state]
+        if corpus.state_factory is not None:
+            rng = random.Random(f"faults/{pack.name}/{corpus.name}/{seeds[0]}")
+            pool = corpus.state_factory(rng, 6)
+            delta = _random_delta(rng, states[0], pool, insert_only=True)
+            mutated = states[0].apply(delta)
+            if mutated is not states[0]:
+                states.append(mutated)
+        expected = [
+            {
+                pq.name: _reference_rows(pq.query, state, domain, extras)
+                for pq in corpus.queries
+            }
+            for state in states
+        ]
+        scenarios.append((corpus, list(zip(states, expected))))
+
+    def run_scenario(tmp_dir: str) -> Tuple[List[str], int]:
+        """One full ladder pass under the active fault; (problems, runs)."""
+        problems: List[str] = []
+        runs = 0
+        # Fresh breaker and plan store per fault: no cross-fault pollution,
+        # and never the process-global default breaker.
+        breaker = SubstrateBreaker()
+        cache = PersistentPlanCache(maxsize=64, store=PlanStore(tmp_dir))
+        for corpus, steps in scenarios:
+            plans = [(
+                "compiled-algebra",
+                CompiledAlgebraPlan(
+                    domain=domain, budget=Budget(), extra_elements=extras,
+                    cache=cache, breaker=breaker,
+                ),
+            )]
+            if pack.supports_vectorized and HAVE_NUMPY:
+                plans.append((
+                    "vectorized",
+                    VectorizedAlgebraPlan(
+                        domain=domain, budget=Budget(), extra_elements=extras,
+                        cache=cache, breaker=breaker,
+                    ),
+                ))
+            if pack.supports_parallel and HAVE_NUMPY:
+                plans.append((
+                    "parallel",
+                    ParallelAlgebraPlan(
+                        domain=domain, budget=Budget(), extra_elements=extras,
+                        cache=cache, breaker=breaker,
+                        parallel_threshold=1, morsel_rows=3,
+                    ),
+                ))
+            plans.append((
+                "incremental",
+                IncrementalAlgebraPlan(
+                    domain=domain, budget=Budget(), extra_elements=extras,
+                    cache=cache, answer_cache=AnswerCache(), breaker=breaker,
+                ),
+            ))
+            for substrate, plan in plans:
+                # Each plan walks canonical → mutated, so the incremental
+                # plan's second step exercises the maintenance rules.
+                for step, (state, expected) in enumerate(steps):
+                    for pq in corpus.queries:
+                        runs += 1
+                        try:
+                            answer = plan.execute(pq.query, state)
+                        except (faults.InjectedFault, EvaluationInterrupted):
+                            continue  # clean, structured failure
+                        except Exception as error:
+                            problems.append(
+                                f"{corpus.name}/{pq.name} step={step} via "
+                                f"{substrate}: unstructured "
+                                f"{type(error).__name__}: {error}"
+                            )
+                            continue
+                        got = frozenset(answer.relation.rows)
+                        if got != expected[pq.name]:
+                            problems.append(
+                                f"{corpus.name}/{pq.name} step={step} via "
+                                f"{substrate}: {len(got)} row(s) != tree "
+                                f"walker's {len(expected[pq.name])}"
+                            )
+        return problems, runs
+
+    problems: List[str] = []
+    executions = 0
+    fired = 0
+    fault_plans = [
+        plan for seed in seeds for plan in faults.FaultPlan.matrix(seed)
+    ]
+    for fault_plan in fault_plans:
+        tmp_dir = tempfile.mkdtemp(prefix="repro-faults-")
+        # One watchdog thread per fault: a hang must fail *this* fault's
+        # verdict without wedging the rest of the matrix.
+        watchdog = ThreadPoolExecutor(max_workers=1)
+        try:
+            with faults.inject(fault_plan):
+                future = watchdog.submit(run_scenario, tmp_dir)
+                try:
+                    fault_problems, runs = future.result(
+                        timeout=FAULT_WATCHDOG_SECONDS
+                    )
+                except FutureTimeout:
+                    problems.append(
+                        f"[{fault_plan.label}] hung past the "
+                        f"{FAULT_WATCHDOG_SECONDS:.0f}s watchdog"
+                    )
+                    continue
+                executions += runs
+                fired += sum(fault_plan.fired().values())
+                problems.extend(
+                    f"[{fault_plan.label}] {text}" for text in fault_problems
+                )
+        finally:
+            watchdog.shutdown(wait=False)
+            shutil.rmtree(tmp_dir, ignore_errors=True)
+    if problems:
+        return CheckResult("faults", False, "; ".join(problems[:8]))
+    return CheckResult(
+        "faults",
+        True,
+        f"{executions} execution(s) under {len(fault_plans)} injected fault(s) "
+        f"({fired} trigger(s) fired) answered correctly or failed cleanly",
+    )
+
+
 def _check_bench_smoke(pack: DomainPack, domain: Domain) -> CheckResult:
     corpora = [c for c in pack.corpora() if c.state_factory is not None]
     if not corpora:
@@ -550,28 +726,61 @@ def _check_bench_smoke(pack: DomainPack, domain: Domain) -> CheckResult:
 # ---------------------------------------------------------------------------
 
 
+#: every check family, in the order reports print them
+CHECK_NAMES = (
+    "decision-procedure",
+    "substrate-equivalence",
+    "guard-soundness",
+    "edge-corpora",
+    "delta-equivalence",
+    "bench-smoke",
+    "faults",
+)
+
+
 def run_pack_conformance(
-    pack: Union[str, DomainPack], *, seeds: Sequence[str] = ("0", "1")
+    pack: Union[str, DomainPack],
+    *,
+    seeds: Sequence[str] = ("0", "1"),
+    checks: Optional[Sequence[str]] = None,
 ) -> PackReport:
-    """Run the full conformance suite against one pack."""
+    """Run the conformance suite against one pack.
+
+    ``checks`` selects a subset of :data:`CHECK_NAMES` (default: all).
+    """
     if isinstance(pack, str):
         pack = get_pack(pack)
     domain = pack.factory()
-    checks = (
-        _check_decision_procedure(pack, domain),
-        _check_substrate_equivalence(pack, domain, seeds),
-        _check_guard_soundness(pack, domain),
-        _check_edge_corpora(pack, domain, seeds),
-        _check_delta_equivalence(pack, domain, seeds),
-        _check_bench_smoke(pack, domain),
-    )
-    return PackReport(pack=pack.name, checks=checks)
+    selected = CHECK_NAMES if checks is None else tuple(checks)
+    unknown = set(selected) - set(CHECK_NAMES)
+    if unknown:
+        raise ValueError(
+            f"unknown check(s) {sorted(unknown)}; expected from {CHECK_NAMES}"
+        )
+    runners = {
+        "decision-procedure": lambda: _check_decision_procedure(pack, domain),
+        "substrate-equivalence": lambda: _check_substrate_equivalence(
+            pack, domain, seeds
+        ),
+        "guard-soundness": lambda: _check_guard_soundness(pack, domain),
+        "edge-corpora": lambda: _check_edge_corpora(pack, domain, seeds),
+        "delta-equivalence": lambda: _check_delta_equivalence(pack, domain, seeds),
+        "bench-smoke": lambda: _check_bench_smoke(pack, domain),
+        "faults": lambda: _check_faults(pack, domain, seeds),
+    }
+    results = tuple(runners[name]() for name in CHECK_NAMES if name in selected)
+    return PackReport(pack=pack.name, checks=results)
 
 
 def run_conformance(
-    names: Optional[Iterable[str]] = None, *, seeds: Sequence[str] = ("0", "1")
+    names: Optional[Iterable[str]] = None,
+    *,
+    seeds: Sequence[str] = ("0", "1"),
+    checks: Optional[Sequence[str]] = None,
 ) -> ConformanceReport:
     """Run the conformance suite against ``names`` (default: every pack)."""
     targets = tuple(names) if names is not None else available_packs()
-    reports = tuple(run_pack_conformance(name, seeds=seeds) for name in targets)
+    reports = tuple(
+        run_pack_conformance(name, seeds=seeds, checks=checks) for name in targets
+    )
     return ConformanceReport(reports=reports)

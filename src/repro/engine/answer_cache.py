@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Any, Optional, Set, Tuple
 
 from ..relational.compile import CompiledQuery
+from .budget import Deadline, EvaluationInterrupted
 from ..relational.delta import (
     DeltaUnsupported,
     MaintenanceStats,
@@ -102,6 +103,7 @@ class AnswerCache:
         state: DatabaseState,
         extras: Tuple[Any, ...],
         domain: Any,
+        deadline: Optional[Deadline] = None,
     ) -> Tuple[Set[Row], str]:
         """The answer rows for ``compiled`` in ``state``, plus the decision.
 
@@ -109,6 +111,11 @@ class AnswerCache:
         delta-maintained (and at what cost), or recomputed in full (and
         why) — :class:`~repro.engine.plans.IncrementalAlgebraPlan` surfaces
         it verbatim in ``explain()``.
+
+        A ``deadline`` is threaded into both maintenance and materialising
+        executions.  An interrupted maintenance leaves the materialisation
+        undefined, so the entry is dropped before the interruption
+        propagates.
         """
         fingerprint = state.fingerprint()
         with self._lock:
@@ -135,7 +142,13 @@ class AnswerCache:
                             compiled.universe(state, extras),
                             domain,
                             stats,
+                            deadline,
                         )
+                    except EvaluationInterrupted:
+                        # A half-maintained materialisation is undefined:
+                        # drop it, then surface the deadline/cancel upward.
+                        del self._entries[key]
+                        raise
                     except Exception as error:  # DeltaUnsupported or corruption
                         del self._entries[key]
                         reason = (
@@ -165,7 +178,8 @@ class AnswerCache:
         # Materialise outside the lock: it is the expensive path, and an
         # idempotent one (a racing duplicate just wastes one execution).
         fresh = materialize_plan(
-            compiled.plan, state, compiled.universe(state, extras), domain
+            compiled.plan, state, compiled.universe(state, extras), domain,
+            deadline,
         )
         with self._lock:
             self._entries[key] = fresh

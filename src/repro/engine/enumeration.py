@@ -53,7 +53,7 @@ from ..relational.bounds import (
 from ..relational.state import DatabaseState, Element, Relation
 from ..relational.translate import expand_database_atoms
 from .answers import Answer, FiniteAnswer, UnknownAnswer
-from .budget import Budget
+from .budget import Budget, Deadline
 
 __all__ = [
     "enumerate_tuples",
@@ -224,6 +224,7 @@ def answer_by_enumeration(
     budget: Optional[Budget] = None,
     candidate_source: str = "auto",
     stats: Optional[CandidateStats] = None,
+    deadline: Optional[Deadline] = None,
 ) -> Answer:
     """Answer ``query`` in ``state`` using the Section 1.1 algorithm.
 
@@ -240,6 +241,11 @@ def answer_by_enumeration(
     blind dovetail; ``"dovetail"`` forces the paper's original enumeration
     (kept for differential testing and benchmarking).  Pass a
     :class:`CandidateStats` to observe what ran.
+
+    A ``deadline`` (carrying a cancel token) replaces the internally started
+    clock.  Enumeration keeps its contract of *returning* an
+    :class:`UnknownAnswer` when time runs out — only an explicit
+    cancellation raises (:class:`~repro.engine.budget.Cancelled`).
     """
     if budget is None:
         budget = Budget(max_rows=max_rows, max_candidates=max_candidates)
@@ -248,7 +254,7 @@ def answer_by_enumeration(
             f"candidate_source must be 'auto' or 'dovetail', got "
             f"{candidate_source!r}"
         )
-    clock = budget.start()
+    clock = deadline if deadline is not None else budget.start()
     pure = expand_database_atoms(query, state)
     if free_order is None:
         variables = sorted(free_variables(pure), key=lambda v: v.name)
@@ -320,6 +326,8 @@ def answer_by_enumeration(
         )
 
     while len(found) < budget.max_rows:
+        if deadline is not None:
+            deadline.check_cancelled("enumeration round")
         if clock.expired:
             return out_of_time()
         remaining = excluded_formula()
@@ -332,6 +340,8 @@ def answer_by_enumeration(
         for candidate in candidate_stream():
             if len(seen_this_round) >= budget.max_candidates:
                 break
+            if deadline is not None:
+                deadline.check_cancelled("enumeration candidate")
             if clock.expired:
                 return out_of_time()
             if candidate in seen_this_round:

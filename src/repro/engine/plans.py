@@ -56,7 +56,8 @@ from ..safety.effective_syntax import EffectiveSyntax
 from ..safety.relative_safety import RelativeSafetyDecider, RelativeSafetyUndecidable
 from .answer_cache import AnswerCache
 from .answers import Answer, FiniteAnswer, InfiniteAnswer
-from .budget import Budget
+from .breaker import SubstrateBreaker, default_breaker
+from .budget import Budget, CancelToken, Deadline, EvaluationInterrupted
 from .plan_cache import PlanCache
 
 __all__ = [
@@ -113,10 +114,28 @@ class Plan(ABC):
 
     #: short machine-readable strategy name
     strategy: str = "plan"
+    #: how the last execution was interrupted (deadline/cancel), if it was
+    last_interruption: Optional[str] = None
 
     @abstractmethod
     def execute(self, query: Formula, state: DatabaseState) -> Answer:
         """Run the plan on ``query`` in ``state``."""
+
+    def _start_deadline(self) -> Optional[Deadline]:
+        """The cooperative deadline for one execution, or ``None``.
+
+        A :class:`~repro.engine.budget.Deadline` is only constructed when
+        the budget carries a wall-clock limit or the plan carries a cancel
+        token — otherwise every checkpoint stays a single ``is None`` test.
+        """
+        budget = getattr(self, "budget", None)
+        token = getattr(self, "cancel_token", None)
+        if budget is None or (budget.time_limit is None and token is None):
+            return None
+        return budget.start_deadline(token)
+
+    def _record_interruption(self, error: EvaluationInterrupted) -> None:
+        self.last_interruption = error.describe()
 
     def explain(self) -> str:
         """Why this strategy was chosen, and what it will do."""
@@ -124,6 +143,8 @@ class Plan(ABC):
         text = f"strategy {self.strategy!r}"
         if reason:
             text += f": {reason}"
+        if self.last_interruption:
+            text += f"; interrupted: {self.last_interruption}"
         return text
 
 
@@ -142,6 +163,8 @@ class ActiveDomainPlan(Plan):
     budget: Budget = field(default_factory=Budget)
     extra_elements: Tuple[Element, ...] = ()
     reason: str = "active-domain semantics keeps every answer finite by construction"
+    #: cooperative cancellation flag checked at the walker's checkpoints
+    cancel_token: Optional[CancelToken] = None
     #: what quantifier-range narrowing did during the last execution
     last_narrowing: Optional[str] = None
 
@@ -149,13 +172,19 @@ class ActiveDomainPlan(Plan):
 
     def execute(self, query: Formula, state: DatabaseState) -> Answer:
         stats = NarrowingStats()
-        relation = evaluate_query_active_domain(
-            query,
-            state,
-            interpretation=self.domain,
-            extra_elements=self.extra_elements,
-            stats=stats,
-        )
+        self.last_interruption = None
+        try:
+            relation = evaluate_query_active_domain(
+                query,
+                state,
+                interpretation=self.domain,
+                extra_elements=self.extra_elements,
+                stats=stats,
+                deadline=self._start_deadline(),
+            )
+        except EvaluationInterrupted as error:
+            self._record_interruption(error)
+            raise
         self.last_narrowing = stats.describe() if stats.enabled else None
         return FiniteAnswer(relation, method="active-domain")
 
@@ -187,6 +216,11 @@ class CompiledAlgebraPlan(Plan):
         "the query compiles to relational algebra, so it is answered "
         "set-at-a-time with hash joins instead of tuple-at-a-time tree walking"
     )
+    #: cooperative cancellation flag checked at the substrate checkpoints
+    cancel_token: Optional[CancelToken] = None
+    #: failure breaker demoting faulty accelerated substrates (the shared
+    #: process-wide default when ``None``)
+    breaker: Optional[SubstrateBreaker] = None
     #: why the last execution fell back to the tree walker, if it did
     fallback_reason: Optional[str] = None
     #: operator census of the last compiled plan, for explain()
@@ -197,24 +231,46 @@ class CompiledAlgebraPlan(Plan):
     _substrate: ClassVar[str] = "compiled"
 
     def execute(self, query: Formula, state: DatabaseState) -> Answer:
+        self.last_interruption = None
+        deadline = self._start_deadline()
+        try:
+            return self._execute_with(query, state, deadline)
+        except EvaluationInterrupted as error:
+            self._record_interruption(error)
+            raise
+
+    def _execute_with(
+        self, query: Formula, state: DatabaseState, deadline: Optional[Deadline]
+    ) -> Answer:
         try:
             compiled = self._compiled(query, state)
         except CompilationError as error:
             self.fallback_reason = str(error)
             self.last_summary = None
-            return self._tree_walk_answer(query, state)
+            return self._tree_walk_answer(query, state, deadline)
         self.fallback_reason = None
         self.last_summary = compiled.summary()
-        relation = compiled.execute(state, self.domain, self.extra_elements)
+        relation = compiled.execute(
+            state, self.domain, self.extra_elements, deadline=deadline
+        )
         return FiniteAnswer(relation, method="compiled-algebra")
 
-    def _tree_walk_answer(self, query: Formula, state: DatabaseState) -> Answer:
+    def _breaker(self) -> SubstrateBreaker:
+        return self.breaker if self.breaker is not None else default_breaker()
+
+    def _tree_walk_answer(
+        self,
+        query: Formula,
+        state: DatabaseState,
+        deadline: Optional[Deadline] = None,
+    ) -> Answer:
         """The tree-walking fallback shared by both algebra substrates."""
         relation = evaluate_query_active_domain(
             query,
             state,
             interpretation=self.domain,
             extra_elements=self.extra_elements,
+            deadline=deadline,
         )
         return FiniteAnswer(relation, method="active-domain")
 
@@ -244,6 +300,14 @@ class CompiledAlgebraPlan(Plan):
             text += f" (last plan: {self.last_summary})"
         if self.fallback_reason:
             text += self._fallback_note()
+        if self.last_interruption:
+            text += f"; interrupted: {self.last_interruption}"
+        for substrate in ("parallel", "vectorized"):
+            if self._breaker().state(substrate) != "closed":
+                text += (
+                    f"; {substrate} breaker "
+                    + self._breaker().describe(substrate)
+                )
         if self.cache is not None:
             text += f"; plan cache {self.cache.info()}"
         return text
@@ -280,7 +344,9 @@ class VectorizedAlgebraPlan(CompiledAlgebraPlan):
     strategy = "vectorized"
     _substrate: ClassVar[str] = "vectorized"
 
-    def execute(self, query: Formula, state: DatabaseState) -> Answer:
+    def _execute_with(
+        self, query: Formula, state: DatabaseState, deadline: Optional[Deadline]
+    ) -> Answer:
         try:
             compiled, obstacle = self._vectorized(query, state)
         except CompilationError as error:
@@ -289,26 +355,45 @@ class VectorizedAlgebraPlan(CompiledAlgebraPlan):
                 "evaluator instead"
             )
             self.last_summary = None
-            return self._tree_walk_answer(query, state)
+            return self._tree_walk_answer(query, state, deadline)
         self.last_summary = compiled.summary()
-        if obstacle is None:
+        breaker = self._breaker()
+        if obstacle is None and not breaker.allow("vectorized"):
+            obstacle = (
+                "the vectorized substrate is demoted by its failure breaker "
+                f"({breaker.describe('vectorized')})"
+            )
+        elif obstacle is None:
             try:
                 rows = run_plan_vectorized(
                     compiled.plan,
                     state,
                     compiled.universe(state, self.extra_elements),
                     self.domain,
+                    deadline=deadline,
                 )
             except VectorizationError as error:
                 obstacle = str(error)
+            except EvaluationInterrupted:
+                raise
+            except Exception as error:
+                breaker.record_fault("vectorized", error)
+                obstacle = (
+                    "the vectorized substrate faulted "
+                    f"({type(error).__name__}: {error}); breaker "
+                    + breaker.state("vectorized")
+                )
             else:
+                breaker.record_success("vectorized")
                 self.fallback_reason = None
                 relation = Relation(len(compiled.output), rows)
                 return FiniteAnswer(relation, method="vectorized")
         self.fallback_reason = (
             obstacle + "; executed by the set-at-a-time executor instead"
         )
-        relation = compiled.execute(state, self.domain, self.extra_elements)
+        relation = compiled.execute(
+            state, self.domain, self.extra_elements, deadline=deadline
+        )
         return FiniteAnswer(relation, method="compiled-algebra")
 
     def _vectorized(
@@ -379,7 +464,9 @@ class ParallelAlgebraPlan(VectorizedAlgebraPlan):
     strategy = "parallel"
     _substrate: ClassVar[str] = "parallel"
 
-    def execute(self, query: Formula, state: DatabaseState) -> Answer:
+    def _execute_with(  # noqa: C901 - the ladder is one deliberate sequence
+        self, query: Formula, state: DatabaseState, deadline: Optional[Deadline]
+    ) -> Answer:
         self.last_morsels = None
         try:
             compiled, obstacle = self._vectorized(query, state)
@@ -389,24 +476,30 @@ class ParallelAlgebraPlan(VectorizedAlgebraPlan):
                 "evaluator instead"
             )
             self.last_summary = None
-            return self._tree_walk_answer(query, state)
+            return self._tree_walk_answer(query, state, deadline)
         self.last_summary = compiled.summary()
+        breaker = self._breaker()
         if obstacle is None:
             universe = compiled.universe(state, self.extra_elements)
             size = state.total_rows() + len(universe)
-            try:
-                if size < self.parallel_threshold:
-                    rows = run_plan_vectorized(
-                        compiled.plan, state, universe, self.domain
-                    )
-                    self.fallback_reason = (
-                        f"state too small for the pool ({size} < "
-                        f"{self.parallel_threshold} rows); ran the "
-                        "single-threaded vectorized kernels instead"
-                    )
-                    method = "vectorized"
-                else:
-                    stats = MorselStats()
+            # Rung 1: the worker pool — skipped for tiny states and while
+            # the parallel breaker is open.
+            pool_skip: Optional[str] = None
+            if size < self.parallel_threshold:
+                pool_skip = (
+                    f"state too small for the pool ({size} < "
+                    f"{self.parallel_threshold} rows); ran the "
+                    "single-threaded vectorized kernels instead"
+                )
+            elif not breaker.allow("parallel"):
+                pool_skip = (
+                    "the parallel substrate is demoted by its failure "
+                    f"breaker ({breaker.describe('parallel')}); ran the "
+                    "single-threaded vectorized kernels instead"
+                )
+            if pool_skip is None:
+                stats = MorselStats()
+                try:
                     rows = run_plan_parallel(
                         compiled.plan,
                         state,
@@ -414,19 +507,62 @@ class ParallelAlgebraPlan(VectorizedAlgebraPlan):
                         self.domain,
                         morsel_rows=self.morsel_rows,
                         stats=stats,
+                        deadline=deadline,
                     )
+                except VectorizationError as error:
+                    obstacle = str(error)
+                except EvaluationInterrupted:
+                    raise
+                except Exception as error:
+                    breaker.record_fault("parallel", error)
+                    pool_skip = (
+                        "the parallel substrate faulted "
+                        f"({type(error).__name__}: {error}); demoted to the "
+                        "single-threaded vectorized kernels"
+                    )
+                else:
+                    breaker.record_success("parallel")
                     self.fallback_reason = None
                     self.last_morsels = stats.describe()
-                    method = "parallel"
-            except VectorizationError as error:
-                obstacle = str(error)
-            else:
-                relation = Relation(len(compiled.output), rows)
-                return FiniteAnswer(relation, method=method)
+                    relation = Relation(len(compiled.output), rows)
+                    return FiniteAnswer(relation, method="parallel")
+            # Rung 2: the single-threaded vectorized kernels.
+            if obstacle is None:
+                assert pool_skip is not None
+                if not breaker.allow("vectorized"):
+                    obstacle = (
+                        "the vectorized substrate is demoted by its failure "
+                        f"breaker ({breaker.describe('vectorized')})"
+                    )
+                else:
+                    try:
+                        rows = run_plan_vectorized(
+                            compiled.plan, state, universe, self.domain,
+                            deadline=deadline,
+                        )
+                    except VectorizationError as error:
+                        obstacle = str(error)
+                    except EvaluationInterrupted:
+                        raise
+                    except Exception as error:
+                        breaker.record_fault("vectorized", error)
+                        obstacle = (
+                            "the vectorized substrate faulted "
+                            f"({type(error).__name__}: {error}); breaker "
+                            + breaker.state("vectorized")
+                        )
+                    else:
+                        breaker.record_success("vectorized")
+                        self.fallback_reason = pool_skip
+                        relation = Relation(len(compiled.output), rows)
+                        return FiniteAnswer(relation, method="vectorized")
+        # Rung 3: the reference set-at-a-time executor (never demoted).
         self.fallback_reason = (
             obstacle + "; executed by the set-at-a-time executor instead"
         )
-        relation = compiled.execute(state, self.domain, self.extra_elements)
+        relation = compiled.execute(
+            state, self.domain, self.extra_elements, deadline=deadline
+        )
         return FiniteAnswer(relation, method="compiled-algebra")
 
     def explain(self) -> str:
@@ -469,7 +605,9 @@ class IncrementalAlgebraPlan(CompiledAlgebraPlan):
     #: shares the set-at-a-time substrate's compiled-plan cache entries
     _substrate: ClassVar[str] = "compiled"
 
-    def execute(self, query: Formula, state: DatabaseState) -> Answer:
+    def _execute_with(
+        self, query: Formula, state: DatabaseState, deadline: Optional[Deadline]
+    ) -> Answer:
         try:
             compiled = self._compiled(query, state)
         except CompilationError as error:
@@ -479,16 +617,18 @@ class IncrementalAlgebraPlan(CompiledAlgebraPlan):
                 "recomputed in full: compilation failed, answered by the "
                 "tree-walking active-domain evaluator"
             )
-            return self._tree_walk_answer(query, state)
+            return self._tree_walk_answer(query, state, deadline)
         self.fallback_reason = None
         self.last_summary = compiled.summary()
         if self.answer_cache is None:
             self.last_decision = "recomputed in full: no answer cache configured"
-            relation = compiled.execute(state, self.domain, self.extra_elements)
+            relation = compiled.execute(
+                state, self.domain, self.extra_elements, deadline=deadline
+            )
             return FiniteAnswer(relation, method="compiled-algebra")
         key = (query, state.schema, self.domain.name, self.extra_elements)
         rows, decision = self.answer_cache.answer(
-            key, compiled, state, self.extra_elements, self.domain
+            key, compiled, state, self.extra_elements, self.domain, deadline
         )
         self.last_decision = decision
         relation = Relation(len(compiled.output), rows)
@@ -518,6 +658,8 @@ class EnumerationPlan(Plan):
     domain: Domain
     budget: Budget = field(default_factory=Budget)
     reason: str = "the enumeration algorithm answers any finite query exactly"
+    #: cooperative cancellation flag (time expiry stays an UnknownAnswer)
+    cancel_token: Optional[CancelToken] = None
     #: candidate-generator report of the last execution
     last_candidates: Optional[str] = None
 
@@ -532,9 +674,15 @@ class EnumerationPlan(Plan):
         from .enumeration import CandidateStats, answer_by_enumeration
 
         stats = CandidateStats()
-        answer = answer_by_enumeration(
-            query, state, self.domain, budget=self.budget, stats=stats
-        )
+        self.last_interruption = None
+        try:
+            answer = answer_by_enumeration(
+                query, state, self.domain, budget=self.budget, stats=stats,
+                deadline=self._start_deadline(),
+            )
+        except EvaluationInterrupted as error:
+            self._record_interruption(error)
+            raise
         self.last_candidates = stats.describe()
         return answer
 
@@ -618,13 +766,17 @@ def plan_for_strategy(
     safety: Optional[RelativeSafetyDecider] = None,
     cache: Optional[PlanCache] = None,
     answer_cache: Optional[AnswerCache] = None,
+    cancel_token: Optional[CancelToken] = None,
+    breaker: Optional[SubstrateBreaker] = None,
 ) -> Plan:
     """Build the :class:`Plan` for a strategy name.
 
     This is the planner behind the legacy string-flag API.  ``"auto"`` picks
     enumeration when the domain theory is decidable and active-domain
     semantics otherwise, and wraps the choice in a :class:`GuardedPlan` when a
-    syntax or safety guard is supplied.
+    syntax or safety guard is supplied.  A ``cancel_token`` aborts the
+    execution cooperatively from another thread; ``breaker`` overrides the
+    process-wide default substrate failure breaker.
     """
     budget = budget if budget is not None else Budget()
     if strategy == "active-domain":
@@ -633,6 +785,7 @@ def plan_for_strategy(
             budget=budget,
             extra_elements=tuple(extra_elements),
             reason="requested explicitly; every answer is finite by construction",
+            cancel_token=cancel_token,
         )
     elif strategy == "compiled":
         inner = CompiledAlgebraPlan(
@@ -642,6 +795,8 @@ def plan_for_strategy(
             cache=cache,
             reason="requested explicitly; compiles to relational algebra and "
             "falls back to tree walking when compilation bails",
+            cancel_token=cancel_token,
+            breaker=breaker,
         )
     elif strategy == "vectorized":
         inner = VectorizedAlgebraPlan(
@@ -652,6 +807,8 @@ def plan_for_strategy(
             reason="requested explicitly; lowers the algebra plan to NumPy "
             "column kernels, falling back to the set executor (and, when "
             "compilation bails, the tree walker)",
+            cancel_token=cancel_token,
+            breaker=breaker,
         )
     elif strategy == "parallel":
         inner = ParallelAlgebraPlan(
@@ -663,6 +820,8 @@ def plan_for_strategy(
             "morsel-parallel on the shared worker pool (small states stay "
             "single-threaded), falling back to the set executor (and, when "
             "compilation bails, the tree walker)",
+            cancel_token=cancel_token,
+            breaker=breaker,
         )
     elif strategy == "incremental":
         inner = IncrementalAlgebraPlan(
@@ -674,12 +833,15 @@ def plan_for_strategy(
             reason="requested explicitly; materialises answers and patches "
             "them by ΔQ rules when the state mutates, falling back to a full "
             "re-execution (and, when compilation bails, the tree walker)",
+            cancel_token=cancel_token,
+            breaker=breaker,
         )
     elif strategy == "enumeration":
         inner = EnumerationPlan(
             domain=domain,
             budget=budget,
             reason="requested explicitly; requires a decidable domain theory",
+            cancel_token=cancel_token,
         )
     elif strategy in ("auto", "guarded"):
         if domain.has_decidable_theory:
@@ -688,6 +850,7 @@ def plan_for_strategy(
                 budget=budget,
                 reason=f"the first-order theory of {domain.name!r} is decidable, so "
                 "the Section 1.1 enumeration algorithm answers any finite query",
+                cancel_token=cancel_token,
             )
         else:
             inner = ActiveDomainPlan(
@@ -696,6 +859,7 @@ def plan_for_strategy(
                 extra_elements=tuple(extra_elements),
                 reason=f"the theory of {domain.name!r} has no decision procedure; "
                 "falling back to active-domain semantics",
+                cancel_token=cancel_token,
             )
     else:
         raise ValueError(f"unknown strategy {strategy!r}; expected one of {STRATEGIES}")

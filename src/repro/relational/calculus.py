@@ -30,7 +30,13 @@ changes an answer — it only skips candidates that provably fail — and a
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..engine.budget import Deadline
 
 from ..logic.analysis import free_variables
 from ..logic.formulas import (
@@ -106,6 +112,7 @@ def evaluate_formula(
     state: Optional[DatabaseState] = None,
     interpretation: Optional[Interpretation] = None,
     narrower: Optional[QuantifierNarrower] = None,
+    deadline: "Optional[Deadline]" = None,
 ) -> bool:
     """Evaluate ``formula`` with quantifiers ranging over ``universe``.
 
@@ -114,9 +121,13 @@ def evaluate_formula(
     ``narrower`` (sound only on ordered integer carriers — see
     :class:`repro.relational.bounds.QuantifierNarrower`), each quantifier
     iterates only the universe slice union its body's comparison literals
-    allow, instead of the whole universe.
+    allow, instead of the whole universe.  With a ``deadline``, the
+    quantifier loops run a strided cooperative checkpoint per candidate, so
+    an oversized evaluation aborts with ``DeadlineExceeded``/``Cancelled``
+    instead of walking the full grid.
     """
     universe = tuple(universe)
+    tick = deadline.tick if deadline is not None else None
 
     def quantifier_candidates(
         f: "Union[Exists, ForAll]", env: Dict[Var, Element]
@@ -157,6 +168,8 @@ def evaluate_formula(
         if isinstance(f, Exists):
             v = Var(f.var)
             for value in quantifier_candidates(f, env):
+                if tick is not None:
+                    tick("Exists(candidate)")
                 child = dict(env)
                 child[v] = value
                 if ev(f.body, child):
@@ -171,6 +184,8 @@ def evaluate_formula(
                 # false without evaluating a single candidate.
                 return False
             for value in candidates:
+                if tick is not None:
+                    tick("ForAll(candidate)")
                 child = dict(env)
                 child[v] = value
                 if not ev(f.body, child):
@@ -188,13 +203,16 @@ def evaluate_query(
     interpretation: Optional[Interpretation] = None,
     free_order: Optional[Sequence[Var]] = None,
     narrower: Optional[QuantifierNarrower] = None,
+    deadline: "Optional[Deadline]" = None,
 ) -> Relation:
     """Answer ``query`` with both quantifiers and answers restricted to ``universe``.
 
     Returns the relation of all tuples over ``universe`` (one column per free
     variable, in ``free_order`` or sorted-name order) that satisfy the query.
     With a ``narrower``, both the quantifier ranges *and* the free-variable
-    candidate grid are narrowed to the inferred interval unions.
+    candidate grid are narrowed to the inferred interval unions.  With a
+    ``deadline``, the candidate grid runs a strided cooperative checkpoint
+    per tuple (and passes the deadline down to the quantifier loops).
     """
     universe = tuple(universe)
     if free_order is None:
@@ -209,11 +227,15 @@ def evaluate_query(
             narrower.candidates(query, variable.name, {})
             for variable in free_order
         ]
+    tick = deadline.tick if deadline is not None else None
     rows = set()
     for values in itertools.product(*columns):
+        if tick is not None:
+            tick("answer grid")
         assignment = dict(zip(free_order, values))
         if evaluate_formula(
-            query, universe, assignment, state, interpretation, narrower
+            query, universe, assignment, state, interpretation, narrower,
+            deadline,
         ):
             rows.add(tuple(values))
     return Relation(arity, rows)
@@ -227,6 +249,7 @@ def evaluate_query_active_domain(
     *,
     narrow: Optional[bool] = None,
     stats: Optional[NarrowingStats] = None,
+    deadline: "Optional[Deadline]" = None,
 ) -> Relation:
     """Answer ``query`` under active-domain semantics.
 
@@ -251,5 +274,6 @@ def evaluate_query_active_domain(
             ordered_universe, interpretation, state, stats
         )
     return evaluate_query(
-        query, ordered_universe, state, interpretation, narrower=narrower
+        query, ordered_universe, state, interpretation, narrower=narrower,
+        deadline=deadline,
     )

@@ -56,12 +56,17 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Optional, Sequence, Set, Tuple
 
 try:  # pragma: no cover - exercised only on numpy-less installs
     import numpy as np
 except ImportError:  # pragma: no cover
     np = None  # type: ignore[assignment]
+
+from ..testing import faults
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..engine.budget import Deadline
 
 from .exec import (
     AdomScan,
@@ -592,12 +597,14 @@ class _ColumnarExecutor:
         adom: Sequence[Element],
         codec: ElementCodec,
         relation_columns: Optional[Dict[str, Any]] = None,
+        deadline: "Optional[Deadline]" = None,
     ) -> None:
         from . import kernels
 
         self._k = kernels
         self._state = state
         self._codec = codec
+        self._deadline = deadline
         adom_rows = [(element,) for element in set(adom)]
         self._adom = codec.encode_rows(adom_rows, 1)[:, 0]
         #: relation name → encoded code table; when the encode cache supplies
@@ -608,6 +615,11 @@ class _ColumnarExecutor:
         self._adom_sorted: Optional[Any] = None
 
     def run(self, node: PlanNode) -> _Table:
+        if self._deadline is not None:
+            # Cooperative checkpoint between kernel stages: individual NumPy
+            # kernels are uninterruptible, but the plan aborts between them.
+            self._deadline.check(type(node).__name__)
+        faults.fire("kernel-entry")
         if isinstance(node, Scan):
             return self._scan(node)
         if isinstance(node, AdomScan):
@@ -999,6 +1011,7 @@ def run_plan_vectorized(
     *,
     cache: Optional[EncodeCache] = None,
     use_cache: bool = True,
+    deadline: "Optional[Deadline]" = None,
 ) -> Set[Row]:
     """Evaluate a compiled plan on NumPy code tables.
 
@@ -1027,5 +1040,7 @@ def run_plan_vectorized(
     codec, store = _prepare_columns(
         node, state, adom, cache=cache, use_cache=use_cache
     )
-    table = _ColumnarExecutor(state, adom, codec, store).run(node)
+    table = _ColumnarExecutor(state, adom, codec, store, deadline).run(node)
+    if deadline is not None:
+        deadline.check("decode")
     return _decode_table(codec, table)

@@ -132,10 +132,19 @@ class CompiledQuery:
         state: DatabaseState,
         domain,
         extra_elements: Iterable[Element] = (),
+        *,
+        stats=None,
+        deadline=None,
     ) -> Relation:
-        """Run the plan under active-domain semantics in ``state``."""
+        """Run the plan under active-domain semantics in ``state``.
+
+        ``stats`` and ``deadline`` are forwarded to the set executor's
+        :func:`~repro.relational.exec.run_plan` (cooperative checkpoints run
+        between operators when a deadline is given).
+        """
         rows = run_plan(
-            self.plan, state, self.universe(state, extra_elements), domain
+            self.plan, state, self.universe(state, extra_elements), domain,
+            stats, deadline,
         )
         return Relation(len(self.output), rows)
 

@@ -63,8 +63,15 @@ callers must discard it (the answer cache does).
 from __future__ import annotations
 
 from itertools import product
-from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING, Callable, Dict, FrozenSet, List, Optional, Sequence, Set,
+    Tuple,
+)
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..engine.budget import Deadline
+
+from ..testing import faults
 from .exec import (
     AdomScan,
     AggBound,
@@ -110,8 +117,14 @@ class _RecordingExecutor(_Executor):
     maintenance pass relies on to apply each node's delta once.
     """
 
-    def __init__(self, state: DatabaseState, adom: Sequence[Element], domain) -> None:
-        super().__init__(state, adom, domain)
+    def __init__(
+        self,
+        state: DatabaseState,
+        adom: Sequence[Element],
+        domain,
+        deadline: "Optional[Deadline]" = None,
+    ) -> None:
+        super().__init__(state, adom, domain, None, deadline)
         self.results: Dict[PlanNode, Set[Row]] = {}
 
     def run(self, node: PlanNode) -> Set[Row]:
@@ -138,8 +151,9 @@ class _PatchExecutor(_Executor):
         adom: Sequence[Element],
         domain,
         results: Dict[PlanNode, Set[Row]],
+        deadline: "Optional[Deadline]" = None,
     ) -> None:
-        super().__init__(state, adom, domain)
+        super().__init__(state, adom, domain, None, deadline)
         self._results = results
         self._entered = False
 
@@ -250,6 +264,7 @@ def materialize_plan(
     state: DatabaseState,
     adom: Sequence[Element],
     domain,
+    deadline: "Optional[Deadline]" = None,
 ) -> MaterializedPlan:
     """Execute ``plan`` retaining every operator's output, plus the support
     counts the ΔQ rules need.
@@ -257,9 +272,10 @@ def materialize_plan(
     Costs one normal execution plus O(total intermediate rows) memory.  The
     executor short-circuits some subtrees (an antijoin with an empty left
     side never runs its right side); those are forced afterwards so every
-    node of the plan has a result to maintain.
+    node of the plan has a result to maintain.  With a ``deadline``, the
+    recording execution runs the set executor's cooperative checkpoints.
     """
-    recorder = _RecordingExecutor(state, adom, domain)
+    recorder = _RecordingExecutor(state, adom, domain, deadline)
     recorder.run(plan)
     for node in walk_plan(plan):
         if node not in recorder.results:
@@ -310,6 +326,7 @@ def maintain_plan(
     adom: Sequence[Element],
     domain,
     stats: Optional[MaintenanceStats] = None,
+    deadline: "Optional[Deadline]" = None,
 ) -> MaintenanceStats:
     """Patch ``materialized`` to answer against ``state``.
 
@@ -319,7 +336,9 @@ def maintain_plan(
     explicit active domain.  Raises :class:`DeltaUnsupported` when the
     algebra cannot maintain the change (see the module docstring for the
     conditions); the materialisation is then in an undefined intermediate
-    state and must be discarded.
+    state and must be discarded.  With a ``deadline``, a cooperative
+    checkpoint runs before every node's maintenance rule; an interrupted
+    maintenance likewise leaves the materialisation undefined.
     """
     stats = stats if stats is not None else MaintenanceStats()
     new_universe = frozenset(adom)
@@ -333,7 +352,8 @@ def maintain_plan(
         )
     adom_grew = new_universe != materialized.universe
     engine = _MaintenanceEngine(
-        materialized, delta, state, tuple(adom), domain, adom_grew, stats
+        materialized, delta, state, tuple(adom), domain, adom_grew, stats,
+        deadline,
     )
     root_delta = engine.visit(materialized.plan)
     stats.answer_added = len(root_delta.added)
@@ -382,6 +402,7 @@ class _MaintenanceEngine:
         domain,
         adom_grew: bool,
         stats: MaintenanceStats,
+        deadline: "Optional[Deadline]" = None,
     ) -> None:
         self._mat = materialized
         self._delta = delta
@@ -390,19 +411,23 @@ class _MaintenanceEngine:
         self._domain = domain
         self._adom_grew = adom_grew
         self._stats = stats
+        self._deadline = deadline
         self._deltas: Dict[PlanNode, _NodeDelta] = {}
 
     # -- helpers -------------------------------------------------------------
 
     def _run_fragment(self, node: PlanNode) -> Set[Row]:
         """Execute a small synthetic plan fragment (delta rows as literals)."""
-        return _Executor(self._state, self._adom, self._domain).run(node)
+        return _Executor(
+            self._state, self._adom, self._domain, None, self._deadline
+        ).run(node)
 
     def _recompute(self, node: PlanNode) -> _NodeDelta:
         """Node-local recompute: re-run one operator over its maintained
         children and diff against the old output."""
         patched = _PatchExecutor(
-            self._state, self._adom, self._domain, self._mat.results
+            self._state, self._adom, self._domain, self._mat.results,
+            self._deadline,
         )
         new_rows = patched.run(node)
         old_rows = self._mat.results[node]
@@ -414,6 +439,11 @@ class _MaintenanceEngine:
         memoised = self._deltas.get(node)
         if memoised is not None:
             return memoised
+        # Checkpoint between maintenance rules: an interrupted pass leaves
+        # the materialisation undefined, so the caller must discard it.
+        if self._deadline is not None:
+            self._deadline.check("Δ" + type(node).__name__, self._stats)
+        faults.fire("maintenance-rule")
         node_delta = self._dispatch(node)
         self._deltas[node] = node_delta
         if node_delta:

@@ -42,7 +42,13 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    TYPE_CHECKING, Callable, Dict, Iterator, List, Optional, Sequence, Set,
+    Tuple, Union,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..engine.budget import Deadline
 
 from .bounds import (
     AggBound,
@@ -347,16 +353,22 @@ class _Executor:
         adom: Sequence[Element],
         domain,
         stats: Optional[ExecutionStats] = None,
+        deadline: "Optional[Deadline]" = None,
     ) -> None:
         self._state = state
         self._adom = tuple(adom)
         self._domain = domain
         self._stats = stats
+        self._deadline = deadline
         #: sorted (int key, element) view of the adom, built on first interval
         #: operator — int coercion mirrors the ordered domains' eval_predicate
         self._ordered: Optional[Tuple[List[int], List[Element]]] = None
 
     def run(self, node: PlanNode) -> Set[Row]:
+        if self._deadline is not None:
+            # Cooperative checkpoint between operators: a deadline or a
+            # cancellation aborts before the next operator materialises.
+            self._deadline.check(type(node).__name__, self._stats)
         result = self._dispatch(node)
         if self._stats is not None:
             self._stats.record(type(node).__name__, len(result))
@@ -478,6 +490,8 @@ class _Executor:
             i, j = best  # type: ignore[misc]
             (left_attrs, left_rows) = pending[i]
             (right_attrs, right_rows) = pending.pop(j)
+            if self._deadline is not None:
+                self._deadline.check("Join(pairwise)", self._stats)
             pending[i] = _hash_join(left_attrs, left_rows, right_attrs, right_rows)
             # The final merge is the Join node's own output, which run()
             # records; only intermediate merges are extra materialisations.
@@ -512,6 +526,8 @@ class _Executor:
     def _cross_pad(self, node: CrossPad) -> Set[Row]:
         rows = self.run(node.source)
         for _ in node.pad:
+            if self._deadline is not None:
+                self._deadline.check("CrossPad(column)", self._stats)
             rows = {row + (element,) for row in rows for element in self._adom}
         return rows
 
@@ -583,8 +599,11 @@ class _Executor:
             return set()
         keys, elements = self._ordered_adom()
         lowers, uppers = self._bound_resolvers(node)
+        deadline = self._deadline
         result: Set[Row] = set()
         for row in rows:
+            if deadline is not None:
+                deadline.tick("IntervalJoin(row)", self._stats)
             lo, hi = self._row_range(row, keys, lowers, uppers)
             for element in elements[lo:hi]:
                 result.add(row + (element,))
@@ -691,12 +710,17 @@ def run_plan(
     adom: Sequence[Element],
     domain,
     stats: Optional[ExecutionStats] = None,
+    deadline: "Optional[Deadline]" = None,
 ) -> Set[Row]:
     """Evaluate a compiled plan against a state, an explicit active domain,
     and a domain interpretation; rows come back in ``node.attrs`` order.
 
     Pass an :class:`ExecutionStats` to observe per-operator row counts (the
-    blowup-guard regression tests assert on its ``peak_rows``).
+    blowup-guard regression tests assert on its ``peak_rows``).  Pass a
+    started :class:`~repro.engine.budget.Deadline` to make the execution
+    interruptible: a cooperative checkpoint runs between operators (and
+    between pairwise join merges / pad columns), raising
+    ``DeadlineExceeded`` / ``Cancelled`` with the partial stats attached.
 
     >>> from repro.domains.equality import EqualityDomain
     >>> from repro.experiments.corpora import family_schema
@@ -705,4 +729,4 @@ def run_plan(
     >>> sorted(run_plan(diagonal, state, [0, 1, 2], EqualityDomain()))
     [(2,)]
     """
-    return _Executor(state, adom, domain, stats).run(node)
+    return _Executor(state, adom, domain, stats, deadline).run(node)

@@ -64,13 +64,19 @@ import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Set, Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..engine.budget import Deadline
 
 try:  # pragma: no cover - exercised only on numpy-less installs
     import numpy as np
 except ImportError:  # pragma: no cover
     np = None  # type: ignore[assignment]
 
+from ..testing import faults
 from .columnar import (
     EncodeCache,
     VectorizationError,
@@ -291,8 +297,9 @@ class _ParallelExecutor(_ColumnarExecutor):
         pool: ThreadPoolExecutor,
         morsel_rows: int = DEFAULT_MORSEL_ROWS,
         stats: Optional[MorselStats] = None,
+        deadline: "Optional[Deadline]" = None,
     ) -> None:
-        super().__init__(state, adom, codec, relation_columns)
+        super().__init__(state, adom, codec, relation_columns, deadline)
         self._pool = pool
         self._morsel_rows = morsel_rows
         self._stats = stats
@@ -320,6 +327,12 @@ class _ParallelExecutor(_ColumnarExecutor):
             result = kernel(0, rows)
             self._record(stage, 1, rows, result)
             return [result]
+        # Cooperative checkpoint before each pool submission wave: a deadline
+        # or a cancellation stops dispatching stragglers — the morsels already
+        # in flight finish (kernels are uninterruptible) but no new wave starts.
+        if self._deadline is not None:
+            self._deadline.check(f"{stage} morsel dispatch")
+        faults.fire("pool-submit")
         bounds = [(start, min(start + chunk, rows)) for start in range(0, rows, chunk)]
         futures = [self._pool.submit(kernel, start, end) for start, end in bounds]
         _count_tasks(len(futures))
@@ -443,6 +456,7 @@ def run_plan_parallel(
     stats: Optional[MorselStats] = None,
     cache: Optional[EncodeCache] = None,
     use_cache: bool = True,
+    deadline: "Optional[Deadline]" = None,
 ) -> Set[Row]:
     """Evaluate a compiled plan with morsel-parallel columnar kernels.
 
@@ -491,5 +505,9 @@ def run_plan_parallel(
         pool=effective_pool,
         morsel_rows=morsel_rows,
         stats=stats,
+        deadline=deadline,
     )
-    return _decode_table(codec, executor.run(node))
+    table = executor.run(node)
+    if deadline is not None:
+        deadline.check("decode")
+    return _decode_table(codec, table)

@@ -61,6 +61,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--plan-store", default=None, metavar="DIR",
         help="directory for the on-disk plan store (omit to disable persistence)",
     )
+    parser.add_argument(
+        "--shutdown-grace", type=float, default=defaults.shutdown_grace,
+        help="seconds to let in-flight queries drain before cancelling them",
+    )
+    parser.add_argument(
+        "--breaker-threshold", type=int, default=defaults.breaker_threshold,
+        help="consecutive substrate faults before the breaker demotes it",
+    )
+    parser.add_argument(
+        "--breaker-cooldown", type=float, default=defaults.breaker_cooldown,
+        help="seconds an open breaker waits before probing the substrate again",
+    )
+    parser.add_argument(
+        "--retry-jitter", type=float, default=defaults.retry_jitter,
+        help="max random fraction added to Retry-After hints (0 disables)",
+    )
     return parser
 
 
@@ -75,13 +91,18 @@ def policy_from_args(args: argparse.Namespace) -> ServerPolicy:
         morsel_workers=args.morsel_workers,
         plan_cache_size=args.plan_cache_size,
         plan_store_path=args.plan_store,
+        shutdown_grace=args.shutdown_grace,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        retry_jitter=args.retry_jitter,
     )
 
 
 async def _serve(server: QueryServer, host: str) -> None:
     await server.start()
     print(f"repro.serve listening on http://{host}:{server.port}")
-    print("endpoints: POST /connect /query /explain /disconnect, GET /stats")
+    print("endpoints: POST /connect /query /explain /cancel /disconnect, "
+          "GET /stats")
     try:
         await server.serve_forever()
     finally:

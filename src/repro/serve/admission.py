@@ -22,6 +22,7 @@ Everything is thread-safe and clock-injectable (tests pass a fake
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from typing import Callable, Dict, Optional
@@ -106,9 +107,11 @@ class AdmissionController:
         self,
         policy: ServerPolicy,
         clock: Optional[Callable[[], float]] = None,
+        rng: Optional[random.Random] = None,
     ):
         self._policy = policy
         self._clock = clock if clock is not None else time.monotonic
+        self._rng = rng if rng is not None else random.Random()
         self._buckets: Dict[str, TokenBucket] = {}
         self._inflight = 0
         self._lock = threading.Lock()
@@ -126,6 +129,18 @@ class AdmissionController:
                 self._buckets[session_id] = bucket
             return bucket
 
+    def _jittered(self, seconds: float) -> float:
+        """``Retry-After`` with up to ``policy.retry_jitter`` relative jitter.
+
+        Every rejected client computing the *same* deterministic backoff
+        retries at the same instant; spreading the hints de-synchronizes the
+        stampede.  Jitter only ever lengthens the wait, so the hint stays
+        honest about when capacity will actually exist.
+        """
+        if seconds <= 0:
+            return seconds
+        return seconds * (1.0 + self._rng.uniform(0.0, self._policy.retry_jitter))
+
     def admit(self, session_id: str) -> "AdmissionTicket":
         """Admit one request for ``session_id`` or raise :class:`AdmissionError`.
 
@@ -140,7 +155,7 @@ class AdmissionController:
                 f"session {session_id!r} exceeded {self._policy.rate}/s "
                 f"(burst {self._policy.burst}); retry later",
                 status=429,
-                retry_after=bucket.retry_after(),
+                retry_after=self._jittered(bucket.retry_after()),
             )
         with self._lock:
             if self._inflight >= self._policy.max_inflight:
@@ -149,7 +164,7 @@ class AdmissionController:
                     f"server at capacity ({self._policy.max_inflight} requests "
                     "in flight); retry later",
                     status=503,
-                    retry_after=1.0,
+                    retry_after=self._jittered(1.0),
                 )
             self._inflight += 1
             self._admitted += 1

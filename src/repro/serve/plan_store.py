@@ -46,6 +46,7 @@ import threading
 from typing import Any, Hashable, List, Optional
 
 from ..engine.plan_cache import PlanCache
+from ..testing import faults
 
 __all__ = ["PlanStore", "PersistentPlanCache", "STORE_VERSION", "fingerprint_key"]
 
@@ -100,7 +101,13 @@ class PlanStore:
         filename = self._file_for(fingerprint)
         try:
             with open(filename, "rb") as handle:
-                payload = pickle.load(handle)
+                faults.fire("plan-store-io")
+                blob = handle.read()
+            # Injected bit-flips take the same path a truncated disk write
+            # would: unpickle fails (or the payload mismatches) and the file
+            # is dropped as corrupt.
+            blob = faults.corrupt("plan-store-io", blob)
+            payload = pickle.loads(blob)
         except FileNotFoundError:
             return None
         except Exception:
@@ -129,6 +136,7 @@ class PlanStore:
             self.store_errors += 1
             return False
         try:
+            faults.fire("plan-store-io")
             fd, tmp_name = tempfile.mkstemp(dir=self._path, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as handle:
@@ -140,7 +148,9 @@ class PlanStore:
                 except OSError:
                     pass
                 raise
-        except OSError:
+        except (OSError, faults.InjectedFault):
+            # An injected I/O fault degrades exactly like an OS error:
+            # persistence is skipped, the query is unaffected.
             self.store_errors += 1
             return False
         return True

@@ -79,9 +79,23 @@ class ServerPolicy:
     #: rows per SSE ``rows`` event when streaming large answers
     sse_chunk_rows: int = 256
 
+    # -- resilience ----------------------------------------------------------
+    #: seconds a graceful shutdown waits for in-flight queries to drain
+    #: before cancelling them
+    shutdown_grace: float = 5.0
+    #: consecutive faults before the per-substrate failure breaker demotes
+    #: an accelerated substrate in the fallback ladder
+    breaker_threshold: int = 3
+    #: seconds a tripped breaker stays open before a recovery probe
+    breaker_cooldown: float = 30.0
+    #: maximum relative jitter added to computed ``Retry-After`` values
+    #: (0.25 = up to +25%), de-synchronizing client retry stampedes
+    retry_jitter: float = 0.25
+
     def __post_init__(self) -> None:
         for name in ("max_sessions", "burst", "max_inflight", "workers",
-                     "plan_cache_size", "sse_chunk_rows", "answer_cache_size"):
+                     "plan_cache_size", "sse_chunk_rows", "answer_cache_size",
+                     "breaker_threshold"):
             value = getattr(self, name)
             if not isinstance(value, int) or value <= 0:
                 raise ValueError(f"{name} must be a positive integer, got {value!r}")
@@ -93,6 +107,10 @@ class ServerPolicy:
             value = getattr(self, name)
             if not isinstance(value, int) or value < 0:
                 raise ValueError(f"{name} must be a non-negative integer, got {value!r}")
+        for name in ("shutdown_grace", "breaker_cooldown", "retry_jitter"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be non-negative, got {value!r}")
         if self.morsel_workers is not None and (
             not isinstance(self.morsel_workers, int) or self.morsel_workers <= 0
         ):

@@ -14,8 +14,18 @@ expose four JSON endpoints —
   state; repeat queries are then delta-maintained at O(Δ) cost instead of
   re-executed (see :mod:`repro.relational.delta`);
 * ``GET /stats`` — sessions, shared plan cache (memory + disk tiers),
-  encode cache, admission counters, policy;
-* ``POST /disconnect`` — drop a session early (TTL would get it eventually).
+  encode cache, admission counters, substrate breaker, policy;
+* ``POST /cancel`` — trip the cancel tokens of a session's in-flight
+  queries; they abort at their next cooperative checkpoint;
+* ``POST /disconnect`` — drop a session early (TTL would get it eventually),
+  cancelling its in-flight queries first.
+
+Failure statuses are structured: a query that exhausts its (clamped) time
+budget answers ``504`` and a cancelled one ``499``, both with a JSON body
+carrying the operator reached and partial execution stats (see
+:meth:`repro.engine.budget.EvaluationInterrupted.payload`); a draining
+server answers ``503`` to everything new while in-flight work finishes or
+is cancelled within ``policy.shutdown_grace`` seconds.
 
 The asyncio loop only parses requests and shovels bytes; every query runs on
 the :class:`~repro.serve.sessions.SessionManager`'s thread pool (distinct
@@ -34,12 +44,12 @@ import threading
 from typing import Any, Dict, Optional, Tuple
 
 from ..api.session import SessionError
-from ..engine.budget import Budget
+from ..engine.budget import Budget, Cancelled, EvaluationInterrupted
 from ..relational.schema import DatabaseSchema, RelationSchema
 from ..relational.state import DatabaseState, Delta
 from .admission import AdmissionController, AdmissionError
 from .policy import DEFAULT_POLICY, ServerPolicy
-from .sessions import SessionManager, UnknownSessionError
+from .sessions import ServerDraining, SessionManager, UnknownSessionError
 
 __all__ = ["QueryServer", "ServerHandle", "serve_in_thread"]
 
@@ -53,8 +63,10 @@ _STATUS_TEXT = {
     405: "Method Not Allowed",
     413: "Payload Too Large",
     429: "Too Many Requests",
+    499: "Client Closed Request",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -176,6 +188,8 @@ class QueryServer:
         self._host = host
         self._port = port
         self._server: Optional[asyncio.AbstractServer] = None
+        #: live connection-handler tasks, so a graceful stop can drain them
+        self._conn_tasks: "set[asyncio.Task[None]]" = set()
 
     @property
     def manager(self) -> SessionManager:
@@ -204,18 +218,39 @@ class QueryServer:
             await self._server.serve_forever()
 
     async def stop(self) -> None:
-        """Stop accepting, then drop sessions and workers (idempotent)."""
+        """Graceful stop: close the listener, drain, then drop everything.
+
+        The sequence (idempotent):
+
+        1. close the listening socket — no new connections;
+        2. run :meth:`SessionManager.shutdown` off-loop: it stops admitting
+           (new requests on *kept-alive* handler tasks get 503), waits up to
+           ``policy.shutdown_grace`` for in-flight queries, then trips their
+           cancel tokens so stragglers abort at the next checkpoint;
+        3. await the surviving connection handlers so every in-flight client
+           receives its response (a result, or a structured 499/504) before
+           the loop goes away.
+        """
         server, self._server = self._server, None
         if server is not None:
             server.close()
             await server.wait_closed()
-        self._manager.shutdown()
+        # Off the event loop: shutdown() blocks polling the drain, and the
+        # loop must keep running to shovel final responses to clients.
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._manager.shutdown)
+        pending = {task for task in self._conn_tasks if not task.done()}
+        if pending:
+            await asyncio.wait(pending, timeout=self._policy.shutdown_grace)
 
     # -- request plumbing ----------------------------------------------------
 
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
         try:
             try:
                 method, path, body = await self._read_request(reader)
@@ -228,6 +263,8 @@ class QueryServer:
                 return  # client went away or sent garbage; nothing to answer
             await self._dispatch(method, path, body, writer)
         finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -308,10 +345,12 @@ class QueryServer:
                 payload = await self._handle_mutate(body)
             elif (method, path) == ("GET", "/stats"):
                 payload = self._handle_stats()
+            elif (method, path) == ("POST", "/cancel"):
+                payload = self._handle_cancel(body)
             elif (method, path) == ("POST", "/disconnect"):
                 payload = self._handle_disconnect(body)
             elif path in ("/connect", "/query", "/explain", "/mutate",
-                          "/disconnect", "/stats"):
+                          "/cancel", "/disconnect", "/stats"):
                 raise _HttpError(405, f"{method} not supported on {path}")
             else:
                 raise _HttpError(404, f"no route {method} {path}")
@@ -321,6 +360,18 @@ class QueryServer:
                 extra = (("Retry-After", f"{error.retry_after:.3f}"),)
             await self._write_json(
                 writer, error.status, {"error": str(error)}, extra_headers=extra
+            )
+            return
+        except EvaluationInterrupted as error:
+            # 504 for a deadline the server's clamp imposed, 499 when the
+            # client (or a drain) cancelled; the body carries the operator
+            # reached and the partial stats so the failure is diagnosable.
+            status = 499 if isinstance(error, Cancelled) else 504
+            await self._write_json(writer, status, error.payload())
+            return
+        except ServerDraining as error:
+            await self._write_json(
+                writer, 503, {"error": str(error), "draining": True}
             )
             return
         except Exception as error:  # noqa: BLE001 - last-resort 500
@@ -486,6 +537,16 @@ class QueryServer:
         stats["admission"] = self._admission.stats()
         stats["policy"] = self._policy.describe()
         return stats
+
+    def _handle_cancel(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        session_id = self._admitted_session(body)
+        reason = body.get("reason")
+        if reason is not None and not isinstance(reason, str):
+            raise _HttpError(400, "'reason' must be a string")
+        cancelled = self._manager.cancel_session(
+            session_id, reason=reason or "cancelled by client"
+        )
+        return {"session": session_id, "cancelled": cancelled}
 
     def _handle_disconnect(self, body: Dict[str, Any]) -> Dict[str, Any]:
         session_id = self._admitted_session(body)

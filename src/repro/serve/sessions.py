@@ -39,7 +39,8 @@ from typing import Any, Callable, Dict, List, Optional, Union
 
 from ..api.session import QueryResult, Session
 from ..domains.base import Domain
-from ..engine.budget import Budget
+from ..engine.breaker import configure_default_breaker, default_breaker
+from ..engine.budget import Budget, CancelToken
 from ..engine.plan_cache import PlanCache
 from ..relational.parallel import configure_worker_pool, worker_pool_info
 from ..relational.schema import DatabaseSchema
@@ -47,11 +48,20 @@ from ..relational.state import DatabaseState, Delta
 from .plan_store import PersistentPlanCache, PlanStore
 from .policy import DEFAULT_POLICY, ServerPolicy
 
-__all__ = ["ManagedSession", "SessionManager", "UnknownSessionError"]
+__all__ = [
+    "ManagedSession",
+    "SessionManager",
+    "UnknownSessionError",
+    "ServerDraining",
+]
 
 
 class UnknownSessionError(LookupError):
     """The session id is not (or no longer) registered."""
+
+
+class ServerDraining(RuntimeError):
+    """The manager is shutting down and no longer admits work."""
 
 
 class ManagedSession:
@@ -132,6 +142,17 @@ class SessionManager:
         self._evicted = 0
         self._closed = 0
         self._executor: Optional[ThreadPoolExecutor] = None
+        #: in-flight cancel tokens per session id (the cancellation registry
+        #: behind ``/cancel`` and ``/disconnect``)
+        self._tokens: Dict[str, List[CancelToken]] = {}
+        self._cancelled = 0
+        self._inflight = 0
+        self._draining = False
+        # The serving layer owns the process-wide substrate failure breaker's
+        # knobs (library users share the same breaker with its defaults).
+        configure_default_breaker(
+            policy.breaker_threshold, policy.breaker_cooldown
+        )
         # Pin the process-wide morsel pool when the operator set a count.
         # The pool is shared library infrastructure (not owned by this
         # manager): request threads block on morsel futures, so it must stay
@@ -178,6 +199,8 @@ class SessionManager:
         (``guard``, ``restrict``, ``budget``, ...) — except the plan cache,
         which is always the manager's shared one.
         """
+        if self._draining:
+            raise ServerDraining("the server is shutting down; not accepting sessions")
         options.pop("plan_cache", None)
         options.pop("plan_cache_size", None)
         options.setdefault("incremental", self._policy.incremental)
@@ -212,12 +235,72 @@ class SessionManager:
             return managed
 
     def close(self, session_id: str) -> bool:
-        """Drop a session explicitly; True iff it was live."""
+        """Drop a session explicitly; True iff it was live.
+
+        Cancels the session's in-flight queries first, so a ``/disconnect``
+        aborts work the client will never read.
+        """
+        self.cancel_session(session_id, reason="session disconnected")
         with self._lock:
             managed = self._sessions.pop(session_id, None)
             if managed is not None:
                 self._closed += 1
             return managed is not None
+
+    # -- cancellation registry ----------------------------------------------
+
+    def cancel_session(
+        self, session_id: str, reason: str = "cancelled by client"
+    ) -> int:
+        """Trip every in-flight cancel token of a session; tokens tripped.
+
+        The queries abort at their next cooperative checkpoint with a
+        :class:`~repro.engine.budget.Cancelled` carrying ``reason``.
+        """
+        with self._lock:
+            tokens = list(self._tokens.get(session_id, ()))
+        tripped = sum(1 for token in tokens if token.cancel(reason))
+        if tripped:
+            with self._lock:
+                self._cancelled += tripped
+        return tripped
+
+    def cancel_all(self, reason: str = "server shutting down") -> int:
+        """Trip every in-flight cancel token across sessions."""
+        with self._lock:
+            tokens = [t for bucket in self._tokens.values() for t in bucket]
+        tripped = sum(1 for token in tokens if token.cancel(reason))
+        if tripped:
+            with self._lock:
+                self._cancelled += tripped
+        return tripped
+
+    def _register_token(self, session_id: str, token: CancelToken) -> None:
+        with self._lock:
+            self._tokens.setdefault(session_id, []).append(token)
+            self._inflight += 1
+
+    def _unregister_token(self, session_id: str, token: CancelToken) -> None:
+        with self._lock:
+            bucket = self._tokens.get(session_id)
+            if bucket is not None:
+                try:
+                    bucket.remove(token)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+                if not bucket:
+                    del self._tokens[session_id]
+            self._inflight -= 1
+
+    @property
+    def draining(self) -> bool:
+        """True once a graceful shutdown has begun (no new work admitted)."""
+        return self._draining
+
+    def inflight_queries(self) -> int:
+        """Queries currently executing (or queued with a registered token)."""
+        with self._lock:
+            return self._inflight
 
     def sweep(self) -> int:
         """Expire TTL-stale sessions now; the number dropped."""
@@ -253,23 +336,37 @@ class SessionManager:
         *,
         strategy: str = "auto",
         budget: Optional[Budget] = None,
+        cancel_token: Optional[CancelToken] = None,
     ) -> QueryResult:
         """Run one query on a session, serialized on the session's lock.
 
-        The budget is clamped by server policy before execution.  An evicted
-        or expired session raises :class:`UnknownSessionError` — clients
-        reconnect rather than silently resurrect state.
+        The budget is clamped by server policy before execution — the
+        clamped budget always carries a time limit, so every served query
+        runs under a cooperative deadline.  A cancel token (fresh unless one
+        is passed in) is registered for the duration, so
+        :meth:`cancel_session` and the ``/cancel`` endpoint can abort the
+        query mid-flight.  An evicted or expired session raises
+        :class:`UnknownSessionError` — clients reconnect rather than
+        silently resurrect state.
         """
+        if self._draining:
+            raise ServerDraining("the server is shutting down; not accepting queries")
         managed = self.get(session_id)
         clamped = self._policy.clamp(budget)
-        with managed.lock:
-            result = managed.session.run(
-                query,
-                state if state is not None else managed.state,
-                strategy=strategy,
-                budget=clamped,
-            )
-            managed.queries_served += 1
+        token = cancel_token if cancel_token is not None else CancelToken()
+        self._register_token(session_id, token)
+        try:
+            with managed.lock:
+                result = managed.session.run(
+                    query,
+                    state if state is not None else managed.state,
+                    strategy=strategy,
+                    budget=clamped,
+                    cancel_token=token,
+                )
+                managed.queries_served += 1
+        finally:
+            self._unregister_token(session_id, token)
         managed.touch(self._clock())
         return result
 
@@ -283,6 +380,8 @@ class SessionManager:
         columns on insert-only deltas — and leaves the lineage in place for
         the answer cache to re-answer at O(Δ) cost.
         """
+        if self._draining:
+            raise ServerDraining("the server is shutting down; not accepting mutations")
         managed = self.get(session_id)
         with managed.lock:
             base = managed.state if managed.state is not None else managed.session.state()
@@ -317,10 +416,12 @@ class SessionManager:
         *,
         strategy: str = "auto",
         budget: Optional[Budget] = None,
+        cancel_token: Optional[CancelToken] = None,
     ) -> "Future[QueryResult]":
         """:meth:`run_query` on the worker pool; distinct sessions overlap."""
         return self.executor.submit(
-            self.run_query, session_id, query, state, strategy=strategy, budget=budget
+            self.run_query, session_id, query, state, strategy=strategy,
+            budget=budget, cancel_token=cancel_token,
         )
 
     # -- stats / teardown ----------------------------------------------------
@@ -340,6 +441,11 @@ class SessionManager:
                 "expired": self._expired,
                 "evicted": self._evicted,
                 "closed": self._closed,
+            }
+            cancellation = {
+                "inflight_queries": self._inflight,
+                "cancelled": self._cancelled,
+                "draining": self._draining,
             }
         info = self._plan_cache.info()
         plan_cache: Dict[str, Any] = {
@@ -366,6 +472,8 @@ class SessionManager:
         return {
             "sessions": counters,
             "session_details": sessions,
+            "cancellation": cancellation,
+            "breaker": default_breaker().snapshot(),
             "plan_cache": plan_cache,
             "encode_cache": {
                 "hits": encode_info.hits,
@@ -380,10 +488,42 @@ class SessionManager:
             "parallel": worker_pool_info(),
         }
 
-    def shutdown(self) -> None:
-        """Drop every session and stop the worker pool (idempotent)."""
+    def shutdown(self, grace: Optional[float] = None) -> Dict[str, Any]:
+        """Graceful shutdown: stop admitting, drain, cancel, stop the pool.
+
+        Idempotent.  The sequence is:
+
+        1. flip the draining flag — :meth:`connect`, :meth:`run_query`, and
+           :meth:`mutate` reject new work with :class:`ServerDraining`;
+        2. wait up to ``grace`` seconds (``policy.shutdown_grace`` by
+           default) for in-flight queries to finish on their own;
+        3. trip every remaining cancel token — stragglers abort at their
+           next cooperative checkpoint — and wait for them to unwind;
+        4. drop every session and stop the worker pool.
+
+        Returns a JSON-ready receipt of what the drain did.
+        """
+        grace = self._policy.shutdown_grace if grace is None else grace
+        with self._lock:
+            already = self._draining
+            self._draining = True
+        drained_naturally = True
+        cancelled = 0
+        if not already:
+            end = time.monotonic() + grace
+            while self.inflight_queries() > 0 and time.monotonic() < end:
+                time.sleep(0.01)
+            drained_naturally = self.inflight_queries() == 0
+            cancelled = self.cancel_all("server shutting down")
         with self._lock:
             self._sessions.clear()
             executor, self._executor = self._executor, None
         if executor is not None:
+            # The pool's queries were cancelled cooperatively above, so this
+            # wait is bounded by one checkpoint interval, not a full query.
             executor.shutdown(wait=True)
+        return {
+            "drained_naturally": drained_naturally,
+            "cancelled_inflight": cancelled,
+            "grace": grace,
+        }

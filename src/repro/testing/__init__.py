@@ -1,0 +1,12 @@
+"""Deterministic test harnesses shipped with the library.
+
+Currently one member: :mod:`repro.testing.faults`, the seeded
+fault-injection harness behind the ``faults`` conformance check and the
+chaos CI job.  The package deliberately imports nothing from the rest of
+``repro`` so every layer (relational executors, serving, conformance) can
+hook into it without import cycles.
+"""
+
+from . import faults
+
+__all__ = ["faults"]

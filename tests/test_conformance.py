@@ -15,6 +15,7 @@ Three layers:
 import pytest
 
 from repro.conformance import (
+    CHECK_NAMES,
     ConformanceReport,
     run_conformance,
     run_pack_conformance,
@@ -131,14 +132,7 @@ def test_temporary_pack_registers_domain_and_cleans_up():
 def test_builtin_pack_conformance(pack_name):
     report = run_pack_conformance(pack_name, seeds=("0",))
     assert report.ok, report.describe()
-    assert {check.check for check in report.checks} == {
-        "decision-procedure",
-        "substrate-equivalence",
-        "guard-soundness",
-        "edge-corpora",
-        "delta-equivalence",
-        "bench-smoke",
-    }
+    assert {check.check for check in report.checks} == set(CHECK_NAMES)
 
 
 def test_run_conformance_over_named_subset():

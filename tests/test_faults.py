@@ -1,0 +1,223 @@
+"""The deterministic fault-injection harness and the substrate breaker."""
+
+import pytest
+
+from repro import Budget
+from repro.engine.breaker import SubstrateBreaker, default_breaker
+from repro.engine.plans import ParallelAlgebraPlan, VectorizedAlgebraPlan
+from repro.relational.columnar import HAVE_NUMPY
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.state import DatabaseState
+from repro.serve.plan_store import PersistentPlanCache, PlanStore
+from repro.testing import faults
+from repro.testing.faults import FaultPlan, FaultSpec, InjectedFault, fire, inject
+
+
+# ---------------------------------------------------------------------------
+# FaultSpec / FaultPlan mechanics
+# ---------------------------------------------------------------------------
+
+
+def test_spec_rejects_unknown_point_and_kind():
+    with pytest.raises(ValueError):
+        FaultSpec("no-such-point", "exception")
+    with pytest.raises(ValueError):
+        FaultSpec("kernel-entry", "no-such-kind")
+
+
+def test_fire_is_a_noop_without_an_active_plan():
+    fire("kernel-entry")  # must not raise
+
+
+def test_spec_triggers_at_its_offset_then_stops():
+    plan = FaultPlan([FaultSpec("kernel-entry", "exception", after=2, count=1)])
+    with inject(plan):
+        fire("kernel-entry")  # hit 0
+        fire("kernel-entry")  # hit 1
+        with pytest.raises(InjectedFault) as excinfo:
+            fire("kernel-entry")  # hit 2: trips
+        fire("kernel-entry")  # hit 3: past the count window
+    assert excinfo.value.point == "kernel-entry"
+    assert excinfo.value.hit == 2
+    assert plan.hits() == {"kernel-entry": 4}
+    assert plan.fired() == {"kernel-entry": 1}
+
+
+def test_injection_does_not_nest():
+    plan = FaultPlan([FaultSpec("kernel-entry", "exception")])
+    with inject(plan):
+        with pytest.raises(RuntimeError, match="does not nest"):
+            with inject(plan):
+                pass
+    # and the outer exit restored the inactive state
+    assert faults.active() is None
+
+
+def test_seeded_plans_and_the_matrix_are_deterministic():
+    assert repr(FaultPlan.seeded(7)) == repr(FaultPlan.seeded(7))
+    first = [(p.label, p.specs) for p in FaultPlan.matrix("ci")]
+    second = [(p.label, p.specs) for p in FaultPlan.matrix("ci")]
+    assert first == second
+    # one plan per applicable (point, kind) pair
+    assert len(first) == 2 * 3 + 3  # exception/delay everywhere + corrupt on io
+    points = {spec.point for _, specs in first for spec in specs}
+    assert points == set(faults.INJECTION_POINTS)
+
+
+def test_corrupt_mangles_bytes_but_keeps_length():
+    blob = bytes(range(64))
+    plan = FaultPlan([FaultSpec("plan-store-io", "corrupt-pickle")])
+    with inject(plan):
+        mangled = faults.corrupt("plan-store-io", blob)
+    assert len(mangled) == len(blob)
+    assert mangled != blob
+    # inactive: pass-through
+    assert faults.corrupt("plan-store-io", blob) == blob
+
+
+# ---------------------------------------------------------------------------
+# The breaker state machine
+# ---------------------------------------------------------------------------
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_breaker_opens_after_threshold_and_recovers_via_probe():
+    clock = FakeClock()
+    breaker = SubstrateBreaker(threshold=3, cooldown=10.0, clock=clock)
+    assert breaker.allow("vectorized")
+    for _ in range(2):
+        breaker.record_fault("vectorized", RuntimeError("boom"))
+        assert breaker.state("vectorized") == "closed"
+    breaker.record_fault("vectorized", RuntimeError("boom"))
+    assert breaker.state("vectorized") == "open"
+    assert not breaker.allow("vectorized")
+    # cooldown elapses: one probe is admitted (half-open)
+    clock.now = 10.0
+    assert breaker.allow("vectorized")
+    assert breaker.state("vectorized") == "half-open"
+    # the probe succeeds: closed again
+    breaker.record_success("vectorized")
+    assert breaker.state("vectorized") == "closed"
+
+
+def test_half_open_probe_failure_reopens_immediately():
+    clock = FakeClock()
+    breaker = SubstrateBreaker(threshold=1, cooldown=5.0, clock=clock)
+    breaker.record_fault("parallel")
+    assert breaker.state("parallel") == "open"
+    clock.now = 5.0
+    assert breaker.allow("parallel")  # the probe
+    breaker.record_fault("parallel")  # probe fails: open again, fresh cooldown
+    assert breaker.state("parallel") == "open"
+    clock.now = 9.0
+    assert not breaker.allow("parallel")
+
+
+def test_success_resets_the_consecutive_fault_count():
+    breaker = SubstrateBreaker(threshold=2, cooldown=30.0)
+    breaker.record_fault("vectorized")
+    breaker.record_success("vectorized")
+    breaker.record_fault("vectorized")
+    assert breaker.state("vectorized") == "closed"  # never 2 in a row
+
+
+def test_snapshot_is_json_ready():
+    breaker = SubstrateBreaker(threshold=1, cooldown=30.0)
+    breaker.record_fault("vectorized", RuntimeError("kernel exploded"))
+    snapshot = breaker.snapshot()
+    assert snapshot["threshold"] == 1
+    entry = snapshot["substrates"]["vectorized"]
+    assert entry["state"] == "open"
+    assert entry["total_faults"] == 1
+    assert "kernel exploded" in entry["last_fault"]
+    assert default_breaker() is default_breaker()  # process-wide singleton
+
+
+# ---------------------------------------------------------------------------
+# Faults flow into the fallback ladder
+# ---------------------------------------------------------------------------
+
+
+def nat_fixture():
+    from repro.domains.registry import get_domain
+
+    schema = DatabaseSchema((RelationSchema("F", 2),))
+    state = DatabaseState(schema, {"F": [(1, 2), (2, 3), (3, 4)]})
+    return get_domain("nat<"), state
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="kernel-entry lives in the columnar executor")
+def test_injected_kernel_fault_falls_back_to_the_set_executor():
+    from repro.logic.parser import parse_formula
+
+    domain, state = nat_fixture()
+    breaker = SubstrateBreaker(threshold=3, cooldown=30.0)
+    plan = VectorizedAlgebraPlan(domain=domain, budget=Budget(), breaker=breaker)
+    query = parse_formula("F(x, y)")
+    with inject(FaultPlan([FaultSpec("kernel-entry", "exception")])):
+        answer = plan.execute(query, state)
+    assert frozenset(answer.relation.rows) == frozenset({(1, 2), (2, 3), (3, 4)})
+    assert answer.method == "compiled-algebra"  # the rung below caught it
+    assert "faulted" in (plan.fallback_reason or "")
+    assert breaker.snapshot()["substrates"]["vectorized"]["total_faults"] == 1
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="pool-submit lives in the parallel executor")
+def test_repeated_faults_demote_the_substrate_until_cooldown():
+    from repro.logic.parser import parse_formula
+
+    domain, state = nat_fixture()
+    clock = FakeClock()
+    breaker = SubstrateBreaker(threshold=2, cooldown=60.0, clock=clock)
+    plan = ParallelAlgebraPlan(
+        domain=domain, budget=Budget(), breaker=breaker,
+        parallel_threshold=1, morsel_rows=2,
+    )
+    query = parse_formula("F(x, y)")
+    expected = frozenset({(1, 2), (2, 3), (3, 4)})
+    with inject(FaultPlan([FaultSpec("pool-submit", "exception", count=None)])):
+        for _ in range(2):  # two faults: the breaker trips
+            answer = plan.execute(query, state)
+            assert frozenset(answer.relation.rows) == expected
+        assert breaker.state("parallel") == "open"
+        # demoted: the pool is skipped up front, and explain says so
+        answer = plan.execute(query, state)
+        assert frozenset(answer.relation.rows) == expected
+        assert "breaker" in (plan.fallback_reason or "")
+        assert "parallel breaker" in plan.explain()
+
+
+# ---------------------------------------------------------------------------
+# Plan-store fault tolerance
+# ---------------------------------------------------------------------------
+
+
+def test_corrupted_store_read_degrades_to_a_miss(tmp_path):
+    store = PlanStore(str(tmp_path))
+    assert store.store(("k",), {"payload": 123})
+    with inject(FaultPlan([FaultSpec("plan-store-io", "corrupt-pickle")])):
+        assert store.load(("k",)) is None
+    assert store.corrupt_dropped == 1
+    assert len(store) == 0  # the mangled file was deleted, not re-read forever
+
+
+def test_store_write_fault_degrades_to_no_persistence(tmp_path):
+    store = PlanStore(str(tmp_path))
+    with inject(FaultPlan([FaultSpec("plan-store-io", "exception")])):
+        assert store.store(("k",), {"payload": 123}) is False
+    assert store.store_errors == 1
+    assert store.store(("k",), {"payload": 123})  # recovered afterwards
+
+
+def test_persistent_cache_survives_store_faults(tmp_path):
+    cache = PersistentPlanCache(maxsize=4, store=PlanStore(str(tmp_path)))
+    with inject(FaultPlan([FaultSpec("plan-store-io", "exception", count=None)])):
+        cache.put(("k",), "value")          # write-through fails silently
+        assert cache.get(("k",)) == "value"  # memory tier still serves it

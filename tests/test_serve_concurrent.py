@@ -89,10 +89,14 @@ def test_concurrent_sessions_match_serial_answers(threads, sessions):
         for case_index, future in futures:
             assert future.result(timeout=120).answer.rows() == expected[case_index]
 
-        # the shared plan cache did its job: far fewer compiles than queries
+        # the shared plan cache did its job: far fewer compiles than queries.
+        # Two sessions can race to first-compile the same key (both miss,
+        # both compile, the second put is idempotent), so allow one extra
+        # miss per distinct plan rather than demanding a perfect count.
         info = manager.plan_cache.info()
         assert info.hits + info.misses >= len(jobs)
-        assert info.misses <= len(cases)
+        assert info.misses <= 2 * len(cases)
+        assert info.size <= len(cases)
     finally:
         manager.shutdown()
 

@@ -3,6 +3,8 @@
 import http.client
 import json
 import socket
+import threading
+import time
 
 import pytest
 
@@ -315,3 +317,146 @@ def test_clean_shutdown_releases_the_port():
     with pytest.raises((ConnectionRefusedError, socket.timeout, OSError)):
         request(port, "GET", "/stats")
     assert len(manager) == 0  # sessions dropped by the shutdown
+
+
+# ---------------------------------------------------------------------------
+# Deadlines, cancellation, graceful drain (the resilience layer over HTTP)
+# ---------------------------------------------------------------------------
+
+#: a 4-way self-join that cannot finish within a few-millisecond deadline
+BIG_JOIN = (
+    "exists u. exists v. exists w. "
+    "(F(x, u) & F(u, v) & F(v, w) & F(w, z))"
+)
+
+
+def connect_big(port, rows=60_000):
+    """A session over a state big enough that BIG_JOIN runs for seconds."""
+    status, _, body = request(port, "POST", "/connect", {
+        "domain": "nat<",
+        "schema": {"F": 2},
+        "state": {"F": [[i, (i * 7) % rows] for i in range(rows)]},
+    })
+    assert status == 200
+    return body["session"]
+
+
+def wait_for_inflight(port, minimum=1, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, _, stats = request(port, "GET", "/stats")
+        if stats["cancellation"]["inflight_queries"] >= minimum:
+            return
+        time.sleep(0.005)
+    raise AssertionError("the query never showed up as in flight")
+
+
+def test_deadline_exceeded_maps_to_504_with_payload():
+    manager = SessionManager(
+        ServerPolicy(rate=10_000.0, burst=1_000, time_limit_cap=0.01)
+    )
+    with serve_in_thread(manager) as handle:
+        session = connect_big(handle.port)
+        status, _, error = request(handle.port, "POST", "/query", {
+            "session": session, "query": BIG_JOIN, "strategy": "compiled",
+        })
+    assert status == 504
+    assert error["error"] == "DeadlineExceeded"
+    assert error["operator"], "the payload names the operator reached"
+    assert "partial_stats" in error and "message" in error
+
+
+def test_post_cancel_aborts_an_inflight_query():
+    manager = SessionManager(ServerPolicy(rate=10_000.0, burst=1_000))
+    with serve_in_thread(manager) as handle:
+        port = handle.port
+        session = connect_big(port)
+        outcome = {}
+
+        def run():
+            outcome["response"] = request(port, "POST", "/query", {
+                "session": session, "query": BIG_JOIN, "strategy": "compiled",
+            })
+
+        worker = threading.Thread(target=run)
+        worker.start()
+        try:
+            wait_for_inflight(port)
+            status, _, receipt = request(port, "POST", "/cancel", {
+                "session": session, "reason": "killed over http",
+            })
+            assert status == 200
+            assert receipt == {"session": session, "cancelled": 1}
+        finally:
+            worker.join(timeout=30)
+        assert not worker.is_alive()
+        status, _, error = outcome["response"]
+        assert status == 499
+        assert error["error"] == "Cancelled"
+        assert "killed over http" in error["message"]
+        # The session survives its cancelled query and still answers.
+        status, _, answer = request(port, "POST", "/query", {
+            "session": session, "query": "F(x, y)",
+            "strategy": "compiled", "state": {"F": [[1, 2]]},
+        })
+        assert status == 200 and answer["rows"] == [[1, 2]]
+        _, _, stats = request(port, "GET", "/stats")
+        assert stats["cancellation"]["cancelled"] == 1
+
+
+def test_cancel_requires_post_and_tolerates_idle_sessions(served):
+    assert request(served.port, "GET", "/cancel")[0] == 405
+    session = connect_nat(served.port)
+    status, _, receipt = request(served.port, "POST", "/cancel", {
+        "session": session,
+    })
+    assert status == 200 and receipt["cancelled"] == 0  # nothing in flight
+    assert request(served.port, "POST", "/cancel", {
+        "session": session, "reason": 7,
+    })[0] == 400
+
+
+def test_shutdown_with_inflight_query_returns_a_structured_499():
+    manager = SessionManager(
+        ServerPolicy(rate=10_000.0, burst=1_000, shutdown_grace=0.05)
+    )
+    handle = serve_in_thread(manager).start()
+    port = handle.port
+    session = connect_big(port)
+    outcome = {}
+
+    def run():
+        outcome["response"] = request(port, "POST", "/query", {
+            "session": session, "query": BIG_JOIN, "strategy": "compiled",
+        })
+
+    worker = threading.Thread(target=run)
+    worker.start()
+    try:
+        wait_for_inflight(port)
+    finally:
+        handle.close()
+        worker.join(timeout=30)
+    assert not worker.is_alive()
+    status, _, error = outcome["response"]
+    assert status == 499
+    assert error["error"] == "Cancelled"
+    assert "shutting down" in error["message"]
+    # The port is released and every session was dropped.
+    with pytest.raises((ConnectionRefusedError, socket.timeout, OSError)):
+        request(port, "GET", "/stats")
+    assert len(manager) == 0
+
+
+def test_draining_manager_maps_to_503():
+    manager = SessionManager(ServerPolicy(rate=10_000.0, burst=1_000))
+    with serve_in_thread(manager) as handle:
+        # Drain the manager directly while the HTTP front end is still up —
+        # the window a real shutdown passes through before the port closes.
+        manager.shutdown()
+        status, _, error = request(handle.port, "POST", "/connect", {
+            "domain": "nat<",
+        })
+    assert status == 503
+    assert error["draining"] is True
+    assert "shutting down" in error["error"]

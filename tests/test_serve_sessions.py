@@ -234,3 +234,99 @@ def test_shutdown_is_idempotent_and_drops_sessions():
     manager.shutdown()
     manager.shutdown()
     assert len(manager) == 0
+
+
+# ---------------------------------------------------------------------------
+# Cancellation registry / graceful drain
+# ---------------------------------------------------------------------------
+
+
+def big_join_session(manager):
+    """A session whose 4-way self-join is far too slow to finish un-cancelled."""
+    from repro.relational.schema import DatabaseSchema, RelationSchema
+
+    schema = DatabaseSchema((RelationSchema("F", 2),))
+    managed = manager.connect("nat<", schema)
+    managed.state = managed.session.state(
+        {"F": [(i, (i * 7) % 60_000) for i in range(60_000)]}
+    )
+    query = (
+        "exists u. exists v. exists w. "
+        "(F(x, u) & F(u, v) & F(v, w) & F(w, z))"
+    )
+    # An explicit substrate strategy: the "auto" guard would first run the
+    # (un-checkpointed) Presburger quantifier-elimination decision procedure
+    # on this 4-quantifier query, which dwarfs the execution itself.
+    return managed, query
+
+
+def test_cancel_session_aborts_an_inflight_query():
+    from repro.engine.budget import Cancelled
+
+    manager = SessionManager(ServerPolicy())
+    try:
+        managed, query = big_join_session(manager)
+        future = manager.submit_query(managed.session_id, query, strategy="compiled")
+        deadline = time.monotonic() + 10
+        while manager.inflight_queries() == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        tripped = manager.cancel_session(managed.session_id, reason="test abort")
+        assert tripped == 1
+        with pytest.raises(Cancelled, match="test abort"):
+            future.result(timeout=30)
+        assert manager.inflight_queries() == 0
+        assert manager.stats()["cancellation"]["cancelled"] == 1
+    finally:
+        manager.shutdown()
+
+
+def test_disconnect_cancels_before_dropping_the_session():
+    from repro.engine.budget import Cancelled
+
+    manager = SessionManager(ServerPolicy())
+    try:
+        managed, query = big_join_session(manager)
+        future = manager.submit_query(managed.session_id, query, strategy="compiled")
+        deadline = time.monotonic() + 10
+        while manager.inflight_queries() == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert manager.close(managed.session_id) is True
+        with pytest.raises(Cancelled, match="disconnected"):
+            future.result(timeout=30)
+    finally:
+        manager.shutdown()
+
+
+def test_graceful_shutdown_cancels_stragglers_and_rejects_new_work():
+    from repro.engine.budget import Cancelled
+    from repro.serve.sessions import ServerDraining
+
+    # A short grace window relative to the query's runtime: the straggler is
+    # still mid-join when the window closes, so cancel_all must abort it.
+    manager = SessionManager(ServerPolicy(shutdown_grace=0.05))
+    managed, query = big_join_session(manager)
+    future = manager.submit_query(managed.session_id, query, strategy="compiled")
+    deadline = time.monotonic() + 10
+    while manager.inflight_queries() == 0 and time.monotonic() < deadline:
+        time.sleep(0.005)
+    receipt = manager.shutdown()
+    assert receipt["drained_naturally"] is False
+    assert receipt["cancelled_inflight"] == 1
+    with pytest.raises(Cancelled, match="shutting down"):
+        future.result(timeout=30)
+    assert len(manager) == 0
+    assert manager.draining
+    with pytest.raises(ServerDraining):
+        manager.connect("equality")
+    manager.shutdown()  # still idempotent
+
+
+def test_stats_reports_cancellation_and_breaker_sections(manager):
+    stats = manager.stats()
+    assert stats["cancellation"] == {
+        "inflight_queries": 0, "cancelled": 0, "draining": False,
+    }
+    assert "substrates" in stats["breaker"]
+    import json
+
+    json.dumps(stats)
